@@ -1,0 +1,75 @@
+//! BCH encode/decode throughput — the software analogue of Table 3's
+//! FO4 latency comparison. The headline to look for: BCH-1 decoding is
+//! roughly an order of magnitude faster than BCH-10, mirroring the
+//! paper's 68-vs-569 FO4 hardware numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_ecc::bch::Bch;
+use pcm_ecc::bitvec::BitVec;
+
+fn data(bits: usize) -> BitVec {
+    let bytes: Vec<u8> = (0..bits.div_ceil(8)).map(|i| (i * 89 + 31) as u8).collect();
+    BitVec::from_bytes(&bytes, bits)
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bch_encode_64B_block");
+    for t in [1usize, 4, 10] {
+        let bch = Bch::new(10, t);
+        let msg = data(512);
+        g.bench_with_input(BenchmarkId::new("bch", t), &t, |b, _| {
+            b.iter(|| std::hint::black_box(bch.encode(&msg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bch_decode_64B_block");
+    for (t, errors) in [(1usize, 1usize), (4, 4), (10, 10)] {
+        let bch = Bch::new(10, t);
+        let msg = data(512);
+        let parity = bch.encode(&msg);
+        let mut corrupted = msg.clone();
+        for e in 0..errors {
+            corrupted.toggle(e * 47 + 3);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("t_errors", t),
+            &t,
+            |b, _| {
+                b.iter(|| {
+                    let mut d = corrupted.clone();
+                    let mut p = parity.clone();
+                    std::hint::black_box(bch.decode(&mut d, &mut p).unwrap())
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("clean", t), &t, |b, _| {
+            b.iter(|| {
+                let mut d = msg.clone();
+                let mut p = parity.clone();
+                std::hint::black_box(bch.decode(&mut d, &mut p).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    use pcm_ecc::Hamming;
+    let h = Hamming::new(708);
+    let msg = data(708);
+    let checks = h.encode(&msg);
+    c.bench_function("hamming_708_decode_one_error", |b| {
+        b.iter(|| {
+            let mut d = msg.clone();
+            let mut c = checks.clone();
+            d.toggle(123);
+            std::hint::black_box(h.decode(&mut d, &mut c))
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_hamming);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Cell-error-rate estimation throughput: the Monte-Carlo engine that
+//! powers Figures 3 and 8 (the paper samples up to 1e9 cells per point),
+//! the analytic quadrature estimator, and the §5.1 mapping optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcm_core::cer::{AnalyticCer, CerEstimator, MonteCarloCer};
+use pcm_core::level::LevelDesign;
+use pcm_core::optimize::MappingOptimizer;
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monte_carlo_cer");
+    g.sample_size(10);
+    for (name, design) in [
+        ("4LCn", LevelDesign::four_level_naive()),
+        ("3LCn", LevelDesign::three_level_naive()),
+    ] {
+        let cells = 100_000u64;
+        g.throughput(Throughput::Elements(cells * design.n_levels() as u64));
+        let times = [1024.0, 32_768.0, 1.05e6];
+        g.bench_with_input(BenchmarkId::new("100k_cells_3_times", name), &design, |b, d| {
+            b.iter(|| {
+                let mc = MonteCarloCer::new(cells, 7).with_threads(4);
+                std::hint::black_box(mc.estimate(d, &times))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let an = AnalyticCer::default();
+    let mut g = c.benchmark_group("analytic_cer");
+    for (name, design) in [
+        ("4LCn", LevelDesign::four_level_naive()),
+        ("3LCn_with_switch", LevelDesign::three_level_naive()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &design, |b, d| {
+            b.iter(|| std::hint::black_box(an.cer(d, 32_768.0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mapping_optimizer");
+    g.sample_size(10);
+    g.bench_function("three_level_single_start", |b| {
+        let opt = MappingOptimizer {
+            restarts: 1,
+            max_iters: 120,
+            quad_nodes: 32,
+            ..MappingOptimizer::default()
+        };
+        let base = LevelDesign::three_level_naive();
+        b.iter(|| std::hint::black_box(opt.optimize(&base, "3LCo-bench")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo, bench_analytic, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Information-encoding throughput: 3-ON-2, Gray, TEC, smart encoding,
+//! permutation rank/unrank, and the generalized enumerative codes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcm_codec::{enumerative::EnumerativeCode, gray, permutation, smart, tec, three_on_two};
+use pcm_ecc::bitvec::BitVec;
+
+fn block() -> BitVec {
+    BitVec::from_bytes(&pcm_bench::payload(5), 512)
+}
+
+fn bench_three_on_two(c: &mut Criterion) {
+    let mut g = c.benchmark_group("three_on_two");
+    g.throughput(Throughput::Bytes(64));
+    let data = block();
+    g.bench_function("encode_block", |b| {
+        b.iter(|| std::hint::black_box(three_on_two::encode_block(&data)))
+    });
+    let trits = three_on_two::encode_block(&data);
+    g.bench_function("decode_block", |b| {
+        b.iter(|| std::hint::black_box(three_on_two::decode_block(&trits, 512)))
+    });
+    g.finish();
+}
+
+fn bench_gray_and_smart(c: &mut Criterion) {
+    let mut g = c.benchmark_group("four_level_codecs");
+    g.throughput(Throughput::Bytes(64));
+    let data = block();
+    g.bench_function("gray_encode", |b| {
+        b.iter(|| std::hint::black_box(gray::encode_block(&data)))
+    });
+    let states = gray::encode_block(&data);
+    g.bench_function("gray_decode", |b| {
+        b.iter(|| std::hint::black_box(gray::decode_block(&states, 512)))
+    });
+    g.bench_function("smart_encode", |b| {
+        b.iter(|| {
+            let mut s = states.clone();
+            std::hint::black_box(smart::encode_block(&mut s))
+        })
+    });
+    g.finish();
+}
+
+fn bench_tec(c: &mut Criterion) {
+    let codec = tec::TecCodec::new();
+    let data = block();
+    let mut trits = three_on_two::encode_block(&data);
+    trits.resize(tec::TEC_CELLS, pcm_codec::Trit::S1);
+    let check = codec.encode(&trits);
+    let mut drifted = trits.clone();
+    drifted[100] = drifted[100].drift_successor().unwrap_or(pcm_codec::Trit::S4);
+    c.bench_function("tec_decode_one_drift_error", |b| {
+        b.iter(|| std::hint::black_box(codec.decode(&drifted, &check).unwrap()))
+    });
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("permutation_coding");
+    g.bench_function("encode_11bits", |b| {
+        let mut v = 0u16;
+        b.iter(|| {
+            v = (v + 1) & 0x7FF;
+            std::hint::black_box(permutation::encode(v))
+        })
+    });
+    let levels = {
+        let perm = permutation::encode(1234);
+        let v: Vec<f64> = perm.iter().map(|&r| 3.0 + r as f64 * 0.45).collect();
+        let arr: [f64; 7] = v.try_into().unwrap();
+        arr
+    };
+    g.bench_function("decode_analog", |b| {
+        b.iter(|| std::hint::black_box(permutation::decode_analog(&levels).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_enumerative(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumerative");
+    let data = BitVec::from_bytes(&pcm_bench::payload(9), 512);
+    for base in [3u8, 5, 6] {
+        let code = EnumerativeCode::new(base, 3);
+        g.bench_with_input(BenchmarkId::new("encode_512b", base), &base, |b, _| {
+            b.iter(|| std::hint::black_box(code.encode_block(&data)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_three_on_two,
+    bench_gray_and_smart,
+    bench_tec,
+    bench_permutation,
+    bench_enumerative
+);
+criterion_main!(benches);

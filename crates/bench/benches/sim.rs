@@ -1,0 +1,44 @@
+//! Performance-simulator throughput: instructions simulated per second
+//! for the Figure-16 engine, per workload and design point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcm_sim::{simulate, DesignPoint, EnergyModel, SimParams, WorkloadProfile};
+
+fn bench_engine(c: &mut Criterion) {
+    let params = SimParams::default();
+    let energy = EnergyModel::default();
+    let instructions = 500_000u64;
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(instructions));
+    for w in ["STREAM", "mcf", "namd"] {
+        let profile = WorkloadProfile::by_name(w).unwrap();
+        g.bench_with_input(BenchmarkId::new("4LC-REF", w), &profile, |b, p| {
+            b.iter(|| {
+                std::hint::black_box(simulate(
+                    &params,
+                    &energy,
+                    DesignPoint::FourLcRef,
+                    *p,
+                    instructions,
+                    9,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_matrix(c: &mut Criterion) {
+    let params = SimParams::default();
+    let energy = EnergyModel::default();
+    let mut g = c.benchmark_group("figure16_matrix");
+    g.sample_size(10);
+    g.bench_function("6_workloads_x_4_designs_200k", |b| {
+        b.iter(|| std::hint::black_box(pcm_sim::figure16(&params, &energy, 200_000, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_full_matrix);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Wearout-tolerance ablations: mark-and-spare reference scan vs the
+//! Figure-12 staged MUX datapath, the Figure-13 OR-chain topologies, and
+//! ECP application.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcm_wearout::mark_spare::MarkSpareCodec;
+use pcm_wearout::or_chain::{PrefixOrNetwork, BLOCK_FLAGS};
+use pcm_wearout::EcpMlc;
+
+fn bench_mark_spare(c: &mut Criterion) {
+    let codec = MarkSpareCodec::default();
+    let values: Vec<u8> = (0..171).map(|i| (i % 8) as u8).collect();
+    let pairs = codec.encode_pairs(&values, &[5, 60, 120, 170, 173, 176]).unwrap();
+    let mut g = c.benchmark_group("mark_and_spare_decode_6_failures");
+    g.bench_function("skip_scan", |b| {
+        b.iter(|| std::hint::black_box(codec.decode_pairs(&pairs).unwrap()))
+    });
+    g.bench_function("staged_mux_fig12", |b| {
+        b.iter(|| std::hint::black_box(codec.decode_pairs_staged(&pairs).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_or_chains(c: &mut Criterion) {
+    // Figure 13 ablation: build cost and evaluation cost per topology.
+    let inputs: Vec<bool> = (0..BLOCK_FLAGS).map(|i| i % 29 == 0).collect();
+    let nets = [
+        PrefixOrNetwork::ripple(BLOCK_FLAGS),
+        PrefixOrNetwork::sklansky(BLOCK_FLAGS),
+        PrefixOrNetwork::kogge_stone(BLOCK_FLAGS),
+    ];
+    let mut g = c.benchmark_group("or_chain_eval_177");
+    for net in &nets {
+        g.bench_with_input(BenchmarkId::from_parameter(net.name), net, |b, net| {
+            b.iter(|| std::hint::black_box(net.evaluate(&inputs)))
+        });
+    }
+    g.finish();
+    let mut g = c.benchmark_group("or_chain_build_177");
+    g.bench_function("sklansky", |b| {
+        b.iter(|| std::hint::black_box(PrefixOrNetwork::sklansky(BLOCK_FLAGS)))
+    });
+    g.bench_function("kogge_stone", |b| {
+        b.iter(|| std::hint::black_box(PrefixOrNetwork::kogge_stone(BLOCK_FLAGS)))
+    });
+    g.finish();
+}
+
+fn bench_ecp(c: &mut Criterion) {
+    let mut ecp = EcpMlc::paper();
+    for i in 0..6 {
+        ecp.mark(i * 40, i % 4).unwrap();
+    }
+    let states: Vec<usize> = (0..256).map(|i| i % 4).collect();
+    c.bench_function("ecp_apply_6_entries", |b| {
+        b.iter(|| {
+            let mut s = states.clone();
+            ecp.apply(&mut s);
+            std::hint::black_box(s)
+        })
+    });
+}
+
+criterion_group!(benches, bench_mark_spare, bench_or_chains, bench_ecp);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! `repro` — regenerate every table and figure of the SC'13 paper.
+//!
+//! ```text
+//! repro all                         # everything (default sample sizes)
+//! repro fig8 --samples 100000000    # one experiment, bigger Monte Carlo
+//! repro table3 fig16 --out results  # a subset
+//! ```
+//!
+//! Experiments: table1 table2 table3 table4 table5 fig1 fig2 fig3 fig4
+//! fig5 fig6 fig7 fig8 fig9 fig12 fig13 fig14 fig15 fig16
+//! ablate-mapping ablate-ecc ablate-scale
+
+use pcm_bench::experiments as exp;
+use pcm_bench::experiments::Opts;
+
+const ALL: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5",
+    "fig6", "fig7", "fig8", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "ablate-mapping", "ablate-ecc", "ablate-scale", "ablate-sensing", "ablate-relaxed-write",
+    "ablate-lifetime", "validate-bler", "validate-write-distribution",
+];
+
+fn run(name: &str, opts: &Opts) {
+    match name {
+        "table1" => exp::table1(opts),
+        "table2" => exp::table2(opts),
+        "table3" => exp::table3(opts),
+        "table4" => exp::table4(opts),
+        "table5" => exp::table5(opts),
+        "fig1" => exp::fig1(opts),
+        "fig2" => exp::fig2(opts),
+        "fig3" => exp::fig3(opts),
+        "fig4" => exp::fig4(opts),
+        "fig5" => exp::fig5(opts),
+        "fig6" | "fig7" => exp::fig6_fig7(opts),
+        "fig8" => exp::fig8(opts),
+        "fig9" => exp::fig9(opts),
+        "fig10" | "fig11" | "fig12" => exp::fig12(opts),
+        "fig13" => exp::fig13(opts),
+        "fig14" => exp::fig14(opts),
+        "fig15" => exp::fig15(opts),
+        "fig16" => exp::fig16(opts),
+        "ablate-mapping" => exp::ablate_mapping(opts),
+        "ablate-ecc" => exp::ablate_ecc(opts),
+        "ablate-scale" => exp::ablate_scale(opts),
+        "ablate-sensing" => exp::ablate_sensing(opts),
+        "ablate-relaxed-write" => exp::ablate_relaxed_write(opts),
+        "ablate-lifetime" => exp::ablate_lifetime(opts),
+        "validate-bler" => exp::validate_bler(opts),
+        "validate-write-distribution" => exp::validate_write_distribution(opts),
+        other => {
+            eprintln!("unknown experiment '{other}'; known: {ALL:?}");
+            std::process::exit(2);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Opts::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--samples" => {
+                opts.samples = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples needs an integer");
+            }
+            "--instructions" => {
+                opts.instructions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--instructions needs an integer");
+            }
+            "--out" => {
+                opts.out_dir = it.next().expect("--out needs a directory");
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [EXPERIMENT ...] [--samples N] [--instructions N] \
+                     [--out DIR] [--seed N]\nexperiments: all {}",
+                    ALL.join(" ")
+                );
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        // fig6/fig7 share one function; skip the duplicate invocation.
+        targets = ALL
+            .iter()
+            .filter(|&&t| t != "fig7")
+            .map(|s| s.to_string())
+            .collect();
+    }
+    println!(
+        "mlc-pcm reproduction harness  (samples {}, instructions {}, seed {}, out {}/)\n",
+        opts.samples, opts.instructions, opts.seed, opts.out_dir
+    );
+    for t in &targets {
+        run(t, &opts);
+    }
+}

@@ -1,0 +1,115 @@
+//! Two-bit Gray coding for four-level cells (§6.6).
+//!
+//! The paper stores 4LC data Gray-coded "so that a drift error manifests as
+//! a one-bit error": adjacent resistance states differ in exactly one bit,
+//! which is what lets a t-bit BCH code correct t drifted *cells*.
+//!
+//! State order (by resistance): S1 → `00`, S2 → `01`, S3 → `11`, S4 → `10`.
+
+use pcm_ecc::bitvec::BitVec;
+
+/// Gray code for state index 0..=3 as `(low_bit, high_bit)`.
+const GRAY: [(bool, bool); 4] = [(false, false), (true, false), (true, true), (false, true)];
+
+/// Encode two bits into a 4LC state index.
+#[inline]
+pub fn encode_2bits(low: bool, high: bool) -> usize {
+    match (low, high) {
+        (false, false) => 0,
+        (true, false) => 1,
+        (true, true) => 2,
+        (false, true) => 3,
+    }
+}
+
+/// Decode a 4LC state index into two bits `(low, high)`.
+#[inline]
+pub fn decode_state(state: usize) -> (bool, bool) {
+    GRAY[state]
+}
+
+/// Encode a bit block into 4LC state indices, two bits per cell
+/// (LSB-first); odd tails are zero-padded.
+pub fn encode_block(data: &BitVec) -> Vec<usize> {
+    let cells = data.len().div_ceil(2);
+    (0..cells)
+        .map(|c| {
+            let low = data.get(2 * c);
+            let high = 2 * c + 1 < data.len() && data.get(2 * c + 1);
+            encode_2bits(low, high)
+        })
+        .collect()
+}
+
+/// Decode 4LC state indices back into `len_bits` of data.
+pub fn decode_block(states: &[usize], len_bits: usize) -> BitVec {
+    assert!(states.len() * 2 >= len_bits);
+    let mut out = BitVec::zeros(len_bits);
+    for (c, &s) in states.iter().enumerate() {
+        let (low, high) = decode_state(s);
+        if 2 * c < len_bits && low {
+            out.set(2 * c, true);
+        }
+        if 2 * c + 1 < len_bits && high {
+            out.set(2 * c + 1, true);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_symbols() {
+        for s in 0..4 {
+            let (l, h) = decode_state(s);
+            assert_eq!(encode_2bits(l, h), s);
+        }
+    }
+
+    #[test]
+    fn adjacent_states_differ_in_one_bit() {
+        for s in 0..3 {
+            let (l0, h0) = decode_state(s);
+            let (l1, h1) = decode_state(s + 1);
+            let d = usize::from(l0 != l1) + usize::from(h0 != h1);
+            assert_eq!(d, 1, "states {s} and {}", s + 1);
+        }
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let bytes: Vec<u8> = (0..64u32).map(|i| (i * 151 + 7) as u8).collect();
+        let data = BitVec::from_bytes(&bytes, 512);
+        let states = encode_block(&data);
+        assert_eq!(states.len(), 256, "64B block → 256 cells (§6.6)");
+        assert_eq!(decode_block(&states, 512), data);
+    }
+
+    #[test]
+    fn odd_length_padding() {
+        let data = BitVec::from_bools(&[true, false, true]);
+        let states = encode_block(&data);
+        assert_eq!(states.len(), 2);
+        assert_eq!(decode_block(&states, 3), data);
+    }
+
+    #[test]
+    fn drift_error_flips_one_data_bit() {
+        // A cell sensed one state too high corrupts exactly one bit of the
+        // decoded block.
+        let data = BitVec::from_bytes(&[0b0110_1001], 8);
+        let mut states = encode_block(&data);
+        for c in 0..states.len() {
+            if states[c] < 3 {
+                let saved = states[c];
+                states[c] += 1;
+                let corrupted = decode_block(&states, 8);
+                assert_eq!(corrupted.hamming_distance(&data), 1, "cell {c}");
+                states[c] = saved;
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # pcm-codec — information encodings for MLC-PCM
+//!
+//! The data-encoding layer of the SC'13 MLC-PCM reproduction:
+//!
+//! * [`ternary`] — the three retained cell states (S1/S2/S4) as [`Trit`]s.
+//! * [`three_on_two`] — the paper's 3-ON-2 code (§6.2, Table 2): 3 bits on
+//!   2 ternary cells, with the ninth pair state reserved as the INV
+//!   wearout marker.
+//! * [`tec`] — the transient-error-correction bit mapping (§6.3):
+//!   S1→00/S2→01/S4→11, under which any drift error is a single bit
+//!   error, plus the BCH-1 codec over the 708-bit block message.
+//! * [`gray`] — 2-bit Gray coding for four-level cells (§6.6).
+//! * [`smart`] — drift-aware value encoding (Helmet-style selective
+//!   inversion/rotation, §5.1) that empties the vulnerable states.
+//! * [`permutation`] — the permutation-coding baseline (11 bits in
+//!   7 cells, §3) with an analog retention model.
+//! * [`enumerative`] — generalized non-power-of-two-level block codes
+//!   (§8): five- and six-level cells.
+//!
+//! ```
+//! use pcm_codec::three_on_two;
+//! use pcm_ecc::bitvec::BitVec;
+//!
+//! let block = BitVec::from_bytes(&[0xC3; 64], 512);
+//! let trits = three_on_two::encode_block(&block);
+//! assert_eq!(trits.len(), 342);                    // §6.2
+//! let (decoded, inv) = three_on_two::decode_block(&trits, 512);
+//! assert_eq!(decoded, block);
+//! assert!(inv.iter().all(|&b| !b));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod enumerative;
+pub mod gray;
+pub mod permutation;
+pub mod smart;
+pub mod tec;
+pub mod ternary;
+pub mod three_on_two;
+
+pub use enumerative::EnumerativeCode;
+pub use tec::{TecCodec, TecOutcome};
+pub use ternary::Trit;
+pub use three_on_two::PairValue;

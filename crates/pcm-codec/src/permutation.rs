@@ -1,0 +1,311 @@
+//! Permutation coding — the drift-tolerant baseline of §3/§6.6 (\[22\],
+//! Mittelholzer et al., IBM).
+//!
+//! The scheme stores 11 bits in 7 cells: the cells are programmed to seven
+//! *distinct, monotonically increasing* resistance offsets, and the data
+//! selects which cell gets which rank — a permutation of 7 elements
+//! (7! = 5040 ≥ 2^11 = 2048). Decoding senses the seven analog resistances,
+//! sorts them, and recovers the permutation's rank. Data survives as long
+//! as drift never reorders two cells — which is why the scheme tolerates
+//! drift well (all cells drift upward together) but pays a complex decode:
+//! "analog sensing of resistance values, sorting, finding the most likely
+//! basic pattern, permutation, and a table lookup" (§3).
+//!
+//! Rank/unrank uses the Lehmer code (factorial number system); only the
+//! first 2048 of the 5040 permutations are data, so a drifted word whose
+//! rank lands outside the data range is a *detected* error.
+
+use pcm_core::rng::Xoshiro256pp;
+
+/// Cells per permutation-coded group.
+pub const CELLS_PER_GROUP: usize = 7;
+
+/// Data bits per group (11 in 7 cells → 1.571 bits/cell, §3).
+pub const BITS_PER_GROUP: usize = 11;
+
+/// Decode failure for permutation-coded data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PermError {
+    /// Two cells sensed at an equal (indistinguishable) level.
+    AmbiguousOrder,
+    /// The sensed permutation's rank exceeds the data range (drift
+    /// reordered cells into an unused permutation).
+    OutOfRange,
+}
+
+/// Encode an 11-bit value as a permutation: `perm[i]` is the rank
+/// (0 = lowest resistance) assigned to cell `i`.
+pub fn encode(value: u16) -> [u8; CELLS_PER_GROUP] {
+    assert!(
+        (value as usize) < (1 << BITS_PER_GROUP),
+        "permutation code stores 11 bits, got {value}"
+    );
+    // Lehmer unrank: digits in factorial base select from the remaining
+    // pool.
+    let mut remaining: Vec<u8> = (0..CELLS_PER_GROUP as u8).collect();
+    let mut perm = [0u8; CELLS_PER_GROUP];
+    let mut v = value as usize;
+    let mut base = factorial(CELLS_PER_GROUP - 1);
+    for (i, slot) in perm.iter_mut().enumerate() {
+        let idx = v / base;
+        v %= base;
+        *slot = remaining.remove(idx);
+        if i + 1 < CELLS_PER_GROUP {
+            base /= CELLS_PER_GROUP - 1 - i;
+        }
+    }
+    perm
+}
+
+/// Recover the 11-bit value from a permutation (inverse of [`encode`]).
+pub fn rank(perm: &[u8; CELLS_PER_GROUP]) -> Result<u16, PermError> {
+    let mut remaining: Vec<u8> = (0..CELLS_PER_GROUP as u8).collect();
+    let mut v = 0usize;
+    let mut base = factorial(CELLS_PER_GROUP - 1);
+    for (i, &p) in perm.iter().enumerate() {
+        let idx = remaining
+            .iter()
+            .position(|&r| r == p)
+            .expect("input must be a permutation of 0..7");
+        v += idx * base;
+        remaining.remove(idx);
+        if i + 1 < CELLS_PER_GROUP {
+            base /= CELLS_PER_GROUP - 1 - i;
+        }
+    }
+    if v >= 1 << BITS_PER_GROUP {
+        return Err(PermError::OutOfRange);
+    }
+    Ok(v as u16)
+}
+
+/// Decode from sensed analog levels: sort, recover each cell's rank, then
+/// unrank. Ties are ambiguous (a real sensing circuit would see them as
+/// metastable).
+pub fn decode_analog(levels: &[f64; CELLS_PER_GROUP]) -> Result<u16, PermError> {
+    let mut order: Vec<usize> = (0..CELLS_PER_GROUP).collect();
+    order.sort_by(|&a, &b| levels[a].partial_cmp(&levels[b]).expect("levels must not be NaN"));
+    for w in order.windows(2) {
+        if levels[w[0]] == levels[w[1]] {
+            return Err(PermError::AmbiguousOrder);
+        }
+    }
+    let mut perm = [0u8; CELLS_PER_GROUP];
+    for (r, &cell) in order.iter().enumerate() {
+        perm[cell] = r as u8;
+    }
+    rank(&perm)
+}
+
+fn factorial(n: usize) -> usize {
+    (1..=n).product::<usize>().max(1)
+}
+
+/// Physical model of a permutation-coded group for retention studies: the
+/// seven ranks map to log10-resistance offsets spread across the PCM
+/// dynamic range, written with the usual program-and-verify spread and
+/// drifting with rank-dependent α (interpolated between the Table 1
+/// anchors, since the offsets fall between the four canonical states).
+///
+/// Two refinements beyond the level-cell model, both required for the
+/// scheme to reach the patent's quoted retention (§3: group error ≤ 1e-5
+/// for > 37 days) and both faithful to how permutation writes work:
+///
+/// * **Ordered write-and-verify** — the writer knows the intended rank
+///   order, so verification enforces a minimum inter-cell margin
+///   (`write_margin_logr`), not just a per-cell window. Without it, the
+///   ±2.75σ windows of adjacent ranks overlap and ~2% of groups would be
+///   born misordered.
+/// * **Common-mode drift** — structural-relaxation drift is strongly
+///   correlated among physically adjacent cells; only the *differential*
+///   component reorders a group. `alpha_correlation` splits Table 1's σα
+///   into a shared group factor and a per-cell residue.
+#[derive(Debug, Clone)]
+pub struct PermGroupModel {
+    /// Nominal log10 R for each rank (ascending).
+    pub rank_logr: [f64; CELLS_PER_GROUP],
+    /// σ of the written log-resistance.
+    pub sigma_logr: f64,
+    /// Program-and-verify tolerance, in σ units.
+    pub tolerance_sigma: f64,
+    /// Minimum verified separation (log10 R) between adjacent ranks.
+    pub write_margin_logr: f64,
+    /// Correlation of drift exponents within a group (0 = independent,
+    /// 1 = fully common-mode).
+    pub alpha_correlation: f64,
+}
+
+impl Default for PermGroupModel {
+    fn default() -> Self {
+        // Seven evenly spaced levels across the paper's dynamic range
+        // [10^3, 10^6]. The write spread is kept at Table 1's σR: the
+        // patent's cells are ordinary MLC cells.
+        let mut rank_logr = [0.0; CELLS_PER_GROUP];
+        for (r, slot) in rank_logr.iter_mut().enumerate() {
+            *slot = 3.0 + 3.0 * r as f64 / (CELLS_PER_GROUP - 1) as f64;
+        }
+        Self {
+            rank_logr,
+            sigma_logr: pcm_core::params::SIGMA_LOGR,
+            tolerance_sigma: pcm_core::params::WRITE_TOLERANCE_SIGMA,
+            write_margin_logr: 0.25,
+            alpha_correlation: 0.95,
+        }
+    }
+}
+
+impl PermGroupModel {
+    /// Mean drift exponent at a given resistance, linearly interpolated
+    /// between the Table 1 anchors (α grows with resistance).
+    pub fn alpha_mu_at(&self, logr: f64) -> f64 {
+        use pcm_core::StateLabel::*;
+        let anchors = [S1, S2, S3, S4].map(|s| (s.nominal_logr(), s.drift_alpha().mu));
+        if logr <= anchors[0].0 {
+            return anchors[0].1;
+        }
+        for w in anchors.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if logr <= x1 {
+                return y0 + (y1 - y0) * (logr - x0) / (x1 - x0);
+            }
+        }
+        anchors[3].1
+    }
+
+    /// Write a group holding `value`, then sense after `t_secs` of drift;
+    /// returns the decode outcome.
+    pub fn write_and_read(
+        &self,
+        value: u16,
+        t_secs: f64,
+        rng: &mut Xoshiro256pp,
+    ) -> Result<u16, PermError> {
+        let perm = encode(value);
+        // Program in rank order with verified separation.
+        let mut rank_written = [0.0f64; CELLS_PER_GROUP];
+        let mut prev = f64::NEG_INFINITY;
+        for (r, slot) in rank_written.iter_mut().enumerate() {
+            let nominal = self.rank_logr[r];
+            let mut logr0 = prev + self.write_margin_logr;
+            for _ in 0..100 {
+                let (z, _) = rng.next_truncated_normal(self.tolerance_sigma);
+                let candidate = nominal + z * self.sigma_logr;
+                if candidate >= prev + self.write_margin_logr {
+                    logr0 = candidate;
+                    break;
+                }
+            }
+            *slot = logr0;
+            prev = logr0;
+        }
+        // Common-mode + idiosyncratic drift factors.
+        let rho = self.alpha_correlation;
+        let shared = rng.next_normal();
+        let mut sensed = [0.0f64; CELLS_PER_GROUP];
+        for (cell, &r) in perm.iter().enumerate() {
+            let nominal = self.rank_logr[r as usize];
+            let mu = self.alpha_mu_at(nominal);
+            let sigma = pcm_core::params::ALPHA_SIGMA_RATIO * mu;
+            let idio = rng.next_normal();
+            let z = rho * shared + (1.0 - rho * rho).sqrt() * idio;
+            let alpha = (mu + sigma * z).max(0.0);
+            sensed[cell] = pcm_core::drift::drift_logr(rank_written[r as usize], alpha, t_secs);
+        }
+        decode_analog(&sensed)
+    }
+
+    /// Monte-Carlo group error rate after `t_secs` (fraction of groups
+    /// whose decoded value differs from what was written or fails).
+    pub fn group_error_rate(&self, t_secs: f64, samples: u64, seed: u64) -> f64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut errors = 0u64;
+        for i in 0..samples {
+            let value = (i % (1 << BITS_PER_GROUP)) as u16;
+            match self.write_and_read(value, t_secs, &mut rng) {
+                Ok(v) if v == value => {}
+                _ => errors += 1,
+            }
+        }
+        errors as f64 / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_unrank_roundtrip_all_values() {
+        for v in 0..(1u16 << BITS_PER_GROUP) {
+            let perm = encode(v);
+            // Must be a permutation.
+            let mut seen = [false; CELLS_PER_GROUP];
+            for &p in &perm {
+                assert!(!seen[p as usize]);
+                seen[p as usize] = true;
+            }
+            assert_eq!(rank(&perm), Ok(v));
+        }
+    }
+
+    #[test]
+    fn unused_permutations_are_detected() {
+        // The last permutation (rank 5039) is far outside the data range.
+        let perm = [6u8, 5, 4, 3, 2, 1, 0];
+        assert_eq!(rank(&perm), Err(PermError::OutOfRange));
+    }
+
+    #[test]
+    fn analog_decode_matches_rank_domain() {
+        let value = 1234u16;
+        let perm = encode(value);
+        let levels: Vec<f64> = perm.iter().map(|&r| 3.0 + r as f64 * 0.5).collect();
+        let arr: [f64; 7] = levels.try_into().unwrap();
+        assert_eq!(decode_analog(&arr), Ok(value));
+    }
+
+    #[test]
+    fn ties_are_ambiguous() {
+        let levels = [3.0, 3.5, 3.5, 4.0, 4.5, 5.0, 5.5];
+        assert_eq!(decode_analog(&levels), Err(PermError::AmbiguousOrder));
+    }
+
+    #[test]
+    fn density_matches_section3() {
+        let bpc = BITS_PER_GROUP as f64 / CELLS_PER_GROUP as f64;
+        assert!((bpc - 1.571).abs() < 0.001, "11/7 = {bpc}");
+    }
+
+    #[test]
+    fn drift_tolerance_short_term() {
+        // §3: the patent holds group error rate ≤ 1e-5 for > 37 days; at
+        // our modest sample size the observable claim is a rate ≪ the
+        // level-cell designs' (4LCn is ~1e-2 at a fraction of this time).
+        let model = PermGroupModel::default();
+        let month = 2.6e6;
+        let ger = model.group_error_rate(month, 4000, 42);
+        assert!(ger <= 1e-3, "group error rate at one month: {ger}");
+    }
+
+    #[test]
+    fn eventually_fails_at_geological_times() {
+        // Differential drift must eventually reorder someone: with rank-
+        // dependent α, higher ranks pull away but *adjacent* mid ranks
+        // converge ... verify errors appear by ~millennia, demonstrating
+        // the mechanism is exercised at all.
+        let model = PermGroupModel::default();
+        let ger = model.group_error_rate(1e13, 2000, 7);
+        assert!(ger > 0.0, "expected some reordering at 300k years");
+    }
+
+    #[test]
+    fn alpha_interpolation_hits_anchors() {
+        let m = PermGroupModel::default();
+        assert!((m.alpha_mu_at(3.0) - 0.001).abs() < 1e-12);
+        assert!((m.alpha_mu_at(4.0) - 0.02).abs() < 1e-12);
+        assert!((m.alpha_mu_at(5.0) - 0.06).abs() < 1e-12);
+        assert!((m.alpha_mu_at(6.0) - 0.1).abs() < 1e-12);
+        // Midpoint between S2 and S3.
+        assert!((m.alpha_mu_at(4.5) - 0.04).abs() < 1e-12);
+    }
+}

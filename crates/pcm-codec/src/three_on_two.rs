@@ -1,0 +1,208 @@
+//! The 3-ON-2 encoding (§6.2, Table 2): three bits stored on a pair of
+//! ternary cells.
+//!
+//! A pair of trits has nine states; eight encode the three-bit values
+//! 0b000..0b111 and the ninth — `[S4, S4]`, both cells at the highest
+//! resistance — is the INV marker that the mark-and-spare wearout mechanism
+//! claims for itself (§6.4). The INV state *must* be `[S4, S4]` because a
+//! worn-out (stuck-reset) cell is stuck at S4, and a stuck-set cell can be
+//! forced into S4 by reverse current (§6.4).
+//!
+//! Table 2's assignment is exactly the mixed-radix interpretation
+//! `value = 3·first + second` with digits S1=0, S2=1, S4=2:
+//!
+//! | pair        | bits | pair        | bits |
+//! |-------------|------|-------------|------|
+//! | S1 S1       | 000  | S2 S4       | 101  |
+//! | S1 S2       | 001  | S4 S1       | 110  |
+//! | S1 S4       | 010  | S4 S2       | 111  |
+//! | S2 S1       | 011  | S4 S4       | INV  |
+//! | S2 S2       | 100  |             |      |
+
+use crate::ternary::Trit;
+use pcm_ecc::bitvec::BitVec;
+
+/// Number of data cells for a 64B block: 512 bits → 171 pairs (the last
+/// pair carries one padding bit) → 342 cells (§6.2).
+pub const BLOCK_DATA_CELLS: usize = 342;
+
+/// Pairs per 64B block.
+pub const BLOCK_DATA_PAIRS: usize = BLOCK_DATA_CELLS / 2;
+
+/// A decoded pair: either three bits of data or the INV marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairValue {
+    /// A valid three-bit value (0..=7).
+    Data(u8),
+    /// The `[S4, S4]` invalid/marker state.
+    Inv,
+}
+
+/// Encode three bits (0..=7) onto a pair of trits per Table 2.
+#[inline]
+pub fn encode_pair(value: u8) -> (Trit, Trit) {
+    assert!(value < 8, "3-ON-2 encodes 3 bits, got {value}");
+    (
+        Trit::from_index((value / 3) as usize),
+        Trit::from_index((value % 3) as usize),
+    )
+}
+
+/// The INV marker pair (§6.2).
+#[inline]
+pub fn inv_pair() -> (Trit, Trit) {
+    (Trit::S4, Trit::S4)
+}
+
+/// Decode a pair of trits per Table 2.
+#[inline]
+pub fn decode_pair(first: Trit, second: Trit) -> PairValue {
+    let v = 3 * first.index() + second.index();
+    if v == 8 {
+        PairValue::Inv
+    } else {
+        PairValue::Data(v as u8)
+    }
+}
+
+/// Encode a bit block into trits: bits are consumed three at a time
+/// (LSB-first); the tail is zero-padded to a full pair. 512 bits become
+/// exactly [`BLOCK_DATA_CELLS`] trits.
+pub fn encode_block(data: &BitVec) -> Vec<Trit> {
+    let pairs = data.len().div_ceil(3);
+    let mut out = Vec::with_capacity(pairs * 2);
+    for p in 0..pairs {
+        let mut v = 0u8;
+        for b in 0..3 {
+            let idx = p * 3 + b;
+            if idx < data.len() && data.get(idx) {
+                v |= 1 << b;
+            }
+        }
+        let (a, b) = encode_pair(v);
+        out.push(a);
+        out.push(b);
+    }
+    out
+}
+
+/// Decode trits back into `len_bits` of data. Pairs decoding to INV are
+/// reported in the returned mask (one flag per pair) and contribute zero
+/// bits; the wearout layer substitutes spares *before* calling this in the
+/// real read path (Figure 9), so INV here means an unrepaired failure.
+pub fn decode_block(trits: &[Trit], len_bits: usize) -> (BitVec, Vec<bool>) {
+    assert!(trits.len().is_multiple_of(2), "trit stream must be whole pairs");
+    let pairs = trits.len() / 2;
+    assert!(pairs * 3 >= len_bits, "not enough pairs for {len_bits} bits");
+    let mut data = BitVec::zeros(len_bits);
+    let mut inv = vec![false; pairs];
+    for p in 0..pairs {
+        match decode_pair(trits[2 * p], trits[2 * p + 1]) {
+            PairValue::Inv => inv[p] = true,
+            PairValue::Data(v) => {
+                for b in 0..3 {
+                    let idx = p * 3 + b;
+                    if idx < len_bits && v >> b & 1 == 1 {
+                        data.set(idx, true);
+                    }
+                }
+            }
+        }
+    }
+    (data, inv)
+}
+
+/// Information density of 3-ON-2 in bits per cell (1.5; §6.2 quotes the
+/// ideal ternary capacity as log2(3) ≈ 1.58).
+pub fn bits_per_cell() -> f64 {
+    1.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_exact_mapping() {
+        use Trit::*;
+        let table = [
+            ((S1, S1), 0b000),
+            ((S1, S2), 0b001),
+            ((S1, S4), 0b010),
+            ((S2, S1), 0b011),
+            ((S2, S2), 0b100),
+            ((S2, S4), 0b101),
+            ((S4, S1), 0b110),
+            ((S4, S2), 0b111),
+        ];
+        for ((a, b), v) in table {
+            assert_eq!(encode_pair(v), (a, b), "encode {v:03b}");
+            assert_eq!(decode_pair(a, b), PairValue::Data(v), "decode {a:?}{b:?}");
+        }
+        assert_eq!(decode_pair(S4, S4), PairValue::Inv);
+        assert_eq!(inv_pair(), (S4, S4));
+    }
+
+    #[test]
+    fn pair_roundtrip_all_values() {
+        for v in 0..8u8 {
+            let (a, b) = encode_pair(v);
+            assert_eq!(decode_pair(a, b), PairValue::Data(v));
+        }
+    }
+
+    #[test]
+    fn block_geometry_matches_section_6_2() {
+        let data = BitVec::zeros(512);
+        let trits = encode_block(&data);
+        assert_eq!(trits.len(), BLOCK_DATA_CELLS, "512 bits → 342 cells");
+        assert_eq!(BLOCK_DATA_PAIRS, 171);
+    }
+
+    #[test]
+    fn block_roundtrip_patterned_data() {
+        let bytes: Vec<u8> = (0..64u32).map(|i| (i * 73 + 29) as u8).collect();
+        let data = BitVec::from_bytes(&bytes, 512);
+        let trits = encode_block(&data);
+        let (decoded, inv) = decode_block(&trits, 512);
+        assert_eq!(decoded, data);
+        assert!(inv.iter().all(|&f| !f), "no INV pairs in clean data");
+    }
+
+    #[test]
+    fn block_roundtrip_non_multiple_of_three() {
+        // 16 bits → 6 pairs (18 bit slots, 2 padding).
+        let data = BitVec::from_bytes(&[0xDE, 0xAD], 16);
+        let trits = encode_block(&data);
+        assert_eq!(trits.len(), 12);
+        let (decoded, _) = decode_block(&trits, 16);
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn inv_pairs_are_flagged() {
+        let data = BitVec::from_bytes(&[0xFF; 8], 64);
+        let mut trits = encode_block(&data);
+        // Corrupt pair 3 into INV (a marked wearout failure).
+        trits[6] = Trit::S4;
+        trits[7] = Trit::S4;
+        let (_, inv) = decode_block(&trits, 64);
+        assert!(inv[3]);
+        assert_eq!(inv.iter().filter(|&&f| f).count(), 1);
+    }
+
+    #[test]
+    fn no_data_value_touches_inv() {
+        // Structural guarantee behind mark-and-spare: valid data never
+        // produces [S4, S4].
+        for v in 0..8u8 {
+            assert_ne!(encode_pair(v), inv_pair());
+        }
+    }
+
+    #[test]
+    fn density_is_1_5() {
+        assert_eq!(bits_per_cell(), 1.5);
+        assert!(bits_per_cell() < 3f64.log2()); // below ideal ternary
+    }
+}

@@ -1,0 +1,258 @@
+//! Deterministic (quadrature) cell-error-rate estimation.
+//!
+//! For a cell written to state `i` at time `t` (log-time `L = log10 t`),
+//! the sensed log-resistance is `logR0 + α·L` (or the piecewise variant
+//! with the §5.3 rate switch), with
+//!
+//! * `logR0 ~ TruncatedNormal(µᵢ, σ; ±2.75σ)` — the program-and-verify
+//!   outcome, and
+//! * `α ~ Normal(µα, σα)` — per-cell process variation (Table 1).
+//!
+//! A drift error at time `t` is the event `logR(t) > τ_up` or
+//! `logR(t) < τ_lo`. Conditioned on `logR0` these are Gaussian tail
+//! probabilities in α, so the CER reduces to a 1-D integral over the write
+//! distribution (plus a second nested integral over α₁ when the rate switch
+//! sits between the state and its upper threshold). Gauss–Legendre handles
+//! both; the result is smooth, deterministic, and accurate down to
+//! probabilities (~1e-300) that no Monte-Carlo run could resolve — which is
+//! exactly what the mapping optimizer needs for 3LC designs whose error
+//! rates at the evaluation time are far below 1e-9.
+
+use super::CerEstimator;
+use crate::level::LevelDesign;
+use crate::math::quad::GaussLegendre;
+use crate::math::special::{erf, normal_pdf, normal_sf};
+use crate::params::AlphaDistribution;
+
+/// Quadrature-based CER estimator.
+#[derive(Debug, Clone)]
+pub struct AnalyticCer {
+    outer: GaussLegendre,
+    inner: GaussLegendre,
+}
+
+impl Default for AnalyticCer {
+    fn default() -> Self {
+        Self::new(96, 96)
+    }
+}
+
+impl AnalyticCer {
+    /// Build with explicit node counts for the outer (write distribution)
+    /// and inner (drift-rate distribution) integrals.
+    pub fn new(outer_nodes: usize, inner_nodes: usize) -> Self {
+        Self {
+            outer: GaussLegendre::new(outer_nodes),
+            inner: GaussLegendre::new(inner_nodes),
+        }
+    }
+
+    /// Error probability for a single state at time `t_secs`.
+    pub fn state_cer(&self, design: &LevelDesign, state: usize, t_secs: f64) -> f64 {
+        let l = crate::drift::log_time(t_secs);
+        if l <= 0.0 {
+            return 0.0; // program-and-verify guarantees a correct read at t0
+        }
+        let mu = design.states[state].nominal_logr;
+        let sigma = design.sigma_logr;
+        let lim = design.write_tolerance_sigma;
+        let (tau_lo, tau_up) = design.region(state);
+        let a1 = design.alpha_for_state(state);
+        // The rate switch applies to cells programmed below the switch
+        // resistance (mirrors `cell::write_cell`).
+        let switch = design
+            .drift_switch
+            .filter(|sw| mu < sw.switch_logr)
+            .map(|sw| (sw.switch_logr, sw.alpha));
+
+        // Mass of the standard normal within ±lim (truncation constant).
+        let trunc_mass = erf(lim / std::f64::consts::SQRT_2);
+
+        // Drift exponents are clamped at zero (resistance never decreases),
+        // so the lower threshold can never be crossed: only the upward tail
+        // matters. For c > 0, P(max(α,0) > c) = P(α > c) unchanged.
+        let _ = tau_lo;
+        let integrand = |z: f64| -> f64 {
+            let logr0 = mu + z * sigma;
+            let p = match tau_up {
+                Some(up) => self.p_cross_up(logr0, up, l, a1, switch),
+                None => 0.0,
+            };
+            normal_pdf(z) / trunc_mass * p
+        };
+
+        self.outer.integrate(-lim, lim, integrand)
+    }
+
+    /// P(logR(t) > tau_up) given the write outcome, marginalized over the
+    /// drift exponent(s).
+    fn p_cross_up(
+        &self,
+        logr0: f64,
+        tau_up: f64,
+        l: f64,
+        a1: AlphaDistribution,
+        switch: Option<(f64, AlphaDistribution)>,
+    ) -> f64 {
+        match switch {
+            // Switch sits below the threshold: the crossing happens in the
+            // accelerated regime.
+            Some((sw, a2)) if tau_up > sw => {
+                if logr0 >= sw {
+                    // Already past the switch at write time: pure regime 2.
+                    let c = (tau_up - logr0) / l;
+                    return normal_sf((c - a2.mu) / a2.sigma);
+                }
+                // Regime 1 must carry the cell to `sw` by log-time Lc < L,
+                // then regime 2 must climb (tau_up - sw) in (L - Lc).
+                let a_min = (sw - logr0) / l; // minimal α₁ to reach sw by L
+                let hi = a1.mu + 10.0 * a1.sigma;
+                if a_min >= hi {
+                    return 0.0;
+                }
+                self.inner.integrate(a_min, hi, |alpha1| {
+                    let lc = (sw - logr0) / alpha1;
+                    let remaining = l - lc;
+                    if remaining <= 0.0 {
+                        return 0.0;
+                    }
+                    let c2 = (tau_up - sw) / remaining;
+                    normal_pdf((alpha1 - a1.mu) / a1.sigma) / a1.sigma
+                        * normal_sf((c2 - a2.mu) / a2.sigma)
+                })
+            }
+            // No switch, or the threshold lies below the switch point:
+            // plain single-regime crossing.
+            _ => {
+                let c = (tau_up - logr0) / l;
+                normal_sf((c - a1.mu) / a1.sigma)
+            }
+        }
+    }
+}
+
+impl CerEstimator for AnalyticCer {
+    fn per_state_cer(&self, design: &LevelDesign, t_secs: f64) -> Vec<f64> {
+        (0..design.n_levels())
+            .map(|s| self.state_cer(design, s, t_secs))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::LevelDesign;
+    use crate::params::REFRESH_17MIN_SECS;
+
+    #[test]
+    fn zero_before_t0() {
+        let an = AnalyticCer::default();
+        let d = LevelDesign::four_level_naive();
+        assert_eq!(an.cer(&d, 0.5), 0.0);
+        assert_eq!(an.cer(&d, 1.0), 0.0);
+    }
+
+    #[test]
+    fn top_state_immune_bottom_state_tiny() {
+        let an = AnalyticCer::default();
+        let d = LevelDesign::four_level_naive();
+        let per = an.per_state_cer(&d, 1e9);
+        assert_eq!(per[3], 0.0, "S4 has no upper threshold");
+        assert!(per[0] < 1e-8, "S1 drift is negligible: {:e}", per[0]);
+    }
+
+    #[test]
+    fn paper_figure3_anchors() {
+        // §5.3: 4LCn CER ≈ 1e-3 at 30 s and > 1e-2 at 17 minutes.
+        let an = AnalyticCer::default();
+        let d = LevelDesign::four_level_naive();
+        let cer_30s = an.cer(&d, 30.0);
+        assert!(
+            (2e-4..6e-3).contains(&cer_30s),
+            "CER(30s) = {cer_30s:e}, paper ≈ 1e-3"
+        );
+        let cer_17min = an.cer(&d, REFRESH_17MIN_SECS);
+        assert!(cer_17min > 5e-3, "CER(17min) = {cer_17min:e}, paper > 1e-2");
+        // S3 roughly an order of magnitude worse than S2 (§2.4).
+        let per = an.per_state_cer(&d, REFRESH_17MIN_SECS);
+        let ratio = per[2] / per[1];
+        assert!((4.0..25.0).contains(&ratio), "S3/S2 = {ratio}");
+    }
+
+    #[test]
+    fn monotone_in_time() {
+        let an = AnalyticCer::default();
+        for d in [
+            LevelDesign::four_level_naive(),
+            LevelDesign::three_level_naive(),
+        ] {
+            let mut last = 0.0;
+            for e in 1..38 {
+                let cer = an.cer(&d, (2.0f64).powi(e));
+                assert!(
+                    cer >= last - 1e-15,
+                    "{}: CER must grow with time (t=2^{e}: {cer:e} < {last:e})",
+                    d.name
+                );
+                last = cer;
+            }
+        }
+    }
+
+    #[test]
+    fn three_level_orders_of_magnitude_better() {
+        let an = AnalyticCer::default();
+        let d4 = LevelDesign::four_level_naive();
+        let d3 = LevelDesign::three_level_naive();
+        let t = REFRESH_17MIN_SECS;
+        let (c4, c3) = (an.cer(&d4, t), an.cer(&d3, t));
+        assert!(
+            c3 < c4 * 1e-6,
+            "3LCn ({c3:e}) should be ≥6 orders below 4LCn ({c4:e}) at 17 min"
+        );
+    }
+
+    #[test]
+    fn three_level_nonvolatile_horizon() {
+        // Paper: 3LCn has negligible CER until ~1 year; the drift models
+        // put 3LCo error-free past 16 years.
+        let an = AnalyticCer::default();
+        let d3 = LevelDesign::three_level_naive();
+        let one_year = (2.0f64).powi(25);
+        let cer = an.cer(&d3, one_year);
+        assert!(cer < 1e-7, "3LCn CER at ~1 year = {cer:e}");
+        let thirty_years = (2.0f64).powi(30);
+        let cer30 = an.cer(&d3, thirty_years);
+        assert!(cer30 > 1e-12, "drift eventually bites: {cer30:e}");
+    }
+
+    #[test]
+    fn switch_is_conservative() {
+        // The accelerated-drift model must only *increase* error rates
+        // relative to the same mapping without the switch.
+        let an = AnalyticCer::default();
+        let with = LevelDesign::three_level_naive();
+        let mut without = with.clone();
+        without.drift_switch = None;
+        for e in [20, 25, 30, 34] {
+            let t = (2.0f64).powi(e);
+            let a = an.cer(&with, t);
+            let b = an.cer(&without, t);
+            assert!(a >= b, "t=2^{e}: switch lowered CER ({a:e} < {b:e})");
+        }
+    }
+
+    #[test]
+    fn quadrature_converges() {
+        let coarse = AnalyticCer::new(32, 32);
+        let fine = AnalyticCer::new(192, 192);
+        let d = LevelDesign::three_level_naive();
+        let t = (2.0f64).powi(30);
+        let (a, b) = (coarse.cer(&d, t), fine.cer(&d, t));
+        assert!(
+            (a - b).abs() / b.max(1e-300) < 1e-4,
+            "node-count sensitivity: {a:e} vs {b:e}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Cell error rate (CER) estimation — the paper's central quantity.
+//!
+//! The *cell error rate at time t* is the probability that a freshly
+//! written cell senses as a different state after `t` seconds of drift
+//! (equivalently: the per-refresh-period CER when the refresh interval is
+//! `t`, since every refresh rewrites the cell to nominal, §2.4).
+//!
+//! Two estimators are provided and cross-validated against each other:
+//!
+//! * [`mc::MonteCarloCer`] — the paper's method: sample cells (10⁹ in the
+//!   paper; configurable here), drift them, count errors. Runs on all cores
+//!   via crossbeam scoped threads with deterministic per-shard seeding.
+//! * [`analytic::AnalyticCer`] — nested Gauss–Legendre quadrature over the
+//!   write and drift-rate distributions. Deterministic, resolves error
+//!   rates far below any Monte-Carlo floor (needed for 3LCo, whose CER at
+//!   a decade is ~1e-40), and fast enough to sit inside the mapping
+//!   optimizer's objective function.
+
+pub mod analytic;
+pub mod mc;
+
+use crate::level::LevelDesign;
+
+/// Common interface over the two CER estimators.
+pub trait CerEstimator {
+    /// Per-state error probabilities at time `t_secs` (one entry per design
+    /// state, ordered as in the design).
+    fn per_state_cer(&self, design: &LevelDesign, t_secs: f64) -> Vec<f64>;
+
+    /// Occupancy-weighted overall CER at time `t_secs`.
+    fn cer(&self, design: &LevelDesign, t_secs: f64) -> f64 {
+        self.per_state_cer(design, t_secs)
+            .iter()
+            .zip(&design.states)
+            .map(|(p, s)| p * s.occupancy)
+            .sum()
+    }
+
+    /// CER over a time grid (seconds). Implementations may share work
+    /// across grid points.
+    fn cer_grid(&self, design: &LevelDesign, times: &[f64]) -> Vec<f64> {
+        times.iter().map(|&t| self.cer(design, t)).collect()
+    }
+}
+
+pub use analytic::AnalyticCer;
+pub use mc::{McCerPoint, McCerReport, MonteCarloCer};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::LevelDesign;
+
+    /// The MC and analytic estimators must agree within Monte-Carlo noise.
+    /// This is the keystone validation for everything downstream: Figures
+    /// 3, 5 and 8 all derive from these numbers.
+    #[test]
+    fn mc_and_analytic_agree_4lc() {
+        let design = LevelDesign::four_level_naive();
+        let mc = MonteCarloCer::new(400_000, 99).with_threads(4);
+        let an = AnalyticCer::default();
+        for &t in &[1024.0, 32_768.0, 1.05e6] {
+            let a = an.cer(&design, t);
+            let report = mc.estimate(&design, &[t]);
+            let m = report.points[0].overall.estimate();
+            let (lo, hi) = report.points[0].overall.wilson_interval(1e-3);
+            assert!(
+                a >= lo * 0.8 && a <= hi * 1.2,
+                "t={t}: analytic {a:e} outside MC [{lo:e}, {hi:e}] (mc point {m:e})"
+            );
+        }
+    }
+
+    #[test]
+    fn mc_and_analytic_agree_3lc_with_switch() {
+        let design = LevelDesign::three_level_naive();
+        let mc = MonteCarloCer::new(2_000_000, 7).with_threads(4);
+        let an = AnalyticCer::default();
+        // Pick a time late enough that 3LCn has measurable error rates:
+        // ~34 years (2^30 s) where the paper shows ~1e-6..1e-5.
+        let t = (2.0f64).powi(32);
+        let a = an.cer(&design, t);
+        let report = mc.estimate(&design, &[t]);
+        let (lo, hi) = report.points[0].overall.wilson_interval(1e-3);
+        assert!(
+            a >= lo * 0.5 && a <= hi * 2.0,
+            "analytic {a:e} outside MC [{lo:e}, {hi:e}]"
+        );
+    }
+
+    #[test]
+    fn overall_weights_by_occupancy() {
+        // With smart encoding, S2/S3 weigh 15% instead of 25%, so the
+        // overall CER must drop relative to naive at the same mapping.
+        let an = AnalyticCer::default();
+        let naive = an.cer(&LevelDesign::four_level_naive(), 1024.0);
+        let smart = an.cer(&LevelDesign::four_level_smart(), 1024.0);
+        assert!(smart < naive);
+        // The ratio should be roughly 15/25 since S3 dominates.
+        let ratio = smart / naive;
+        assert!((0.5..0.75).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,211 @@
+//! The resistance-drift law (Eq. 1): `R(t) = R0 · (t/t0)^α`.
+//!
+//! In the log10 domain the law is linear in log-time:
+//! `log R(t) = log R0 + α · log10(t/t0)`,
+//! which is why the paper notes that "logR grows as log t" and why widening
+//! the inter-state gap buys exponentially longer retention (§5.1).
+//!
+//! Three-level designs add the conservative rate switch of §5.3: once a
+//! drifting cell's resistance crosses 10^4.5 Ω, the remaining drift uses
+//! S3's faster α distribution. [`DriftTrajectory`] models both regimes as an
+//! exact piecewise-linear path in (log t, log R) space.
+
+use crate::params::DRIFT_T0_SECS;
+
+/// Convert absolute time in seconds to the drift law's log-time coordinate
+/// `L = log10(t / t0)`. Times at or before `t0` have not drifted yet.
+pub fn log_time(t_secs: f64) -> f64 {
+    (t_secs / DRIFT_T0_SECS).log10().max(0.0)
+}
+
+/// Plain (single-regime) drift: log-resistance after `t_secs`.
+pub fn drift_logr(logr0: f64, alpha: f64, t_secs: f64) -> f64 {
+    logr0 + alpha * log_time(t_secs)
+}
+
+/// A single cell's deterministic drift path once its write outcome
+/// (`logr0`) and drift exponents have been sampled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftTrajectory {
+    /// Initial log10 resistance (program-and-verify outcome).
+    pub logr0: f64,
+    /// Drift exponent in the first regime.
+    pub alpha1: f64,
+    /// Optional `(switch_logr, alpha2)` second regime (3LC conservatism).
+    pub switch: Option<(f64, f64)>,
+}
+
+impl DriftTrajectory {
+    /// A trajectory without a rate switch.
+    pub fn simple(logr0: f64, alpha: f64) -> Self {
+        Self {
+            logr0,
+            alpha1: alpha,
+            switch: None,
+        }
+    }
+
+    /// A trajectory with the §5.3 rate switch. If the cell already starts
+    /// above `switch_logr` the second exponent applies from the beginning.
+    pub fn with_switch(logr0: f64, alpha1: f64, switch_logr: f64, alpha2: f64) -> Self {
+        Self {
+            logr0,
+            alpha1,
+            switch: Some((switch_logr, alpha2)),
+        }
+    }
+
+    /// Log-time at which the trajectory crosses the switch resistance
+    /// (`None` if it never does, or if there is no switch).
+    fn switch_log_time(&self) -> Option<f64> {
+        let (sw, _) = self.switch?;
+        if self.logr0 >= sw {
+            return Some(0.0);
+        }
+        if self.alpha1 <= 0.0 {
+            return None; // never reaches the switch point
+        }
+        Some((sw - self.logr0) / self.alpha1)
+    }
+
+    /// Log-resistance at log-time `l = log10(t/t0) ≥ 0`.
+    pub fn logr_at_log_time(&self, l: f64) -> f64 {
+        let l = l.max(0.0);
+        match (self.switch, self.switch_log_time()) {
+            (Some((sw, alpha2)), Some(lc)) if l > lc => {
+                let base = if lc == 0.0 { self.logr0.max(sw) } else { sw };
+                base + alpha2 * (l - lc)
+            }
+            _ => self.logr0 + self.alpha1 * l,
+        }
+    }
+
+    /// Log-resistance after `t_secs` of drift.
+    pub fn logr_at(&self, t_secs: f64) -> f64 {
+        self.logr_at_log_time(log_time(t_secs))
+    }
+
+    /// Log-time at which the trajectory first reaches `target` log10 R
+    /// (`None` if it never does). Inverse of [`Self::logr_at_log_time`].
+    pub fn log_time_to_reach(&self, target: f64) -> Option<f64> {
+        if self.logr_at_log_time(0.0) >= target {
+            return Some(0.0);
+        }
+        match (self.switch, self.switch_log_time()) {
+            (Some((sw, alpha2)), Some(lc)) if target > sw => {
+                // Must pass through the switch first, then climb in regime 2.
+                if alpha2 <= 0.0 {
+                    return None;
+                }
+                let base = if lc == 0.0 { self.logr0.max(sw) } else { sw };
+                Some(lc + (target - base) / alpha2)
+            }
+            _ => {
+                if self.alpha1 <= 0.0 {
+                    None
+                } else {
+                    Some((target - self.logr0) / self.alpha1)
+                }
+            }
+        }
+    }
+
+    /// Absolute time in seconds to reach `target` log10 R.
+    pub fn time_to_reach(&self, target: f64) -> Option<f64> {
+        self.log_time_to_reach(target)
+            .map(|l| DRIFT_T0_SECS * 10f64.powf(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_drift_before_t0() {
+        let tr = DriftTrajectory::simple(4.0, 0.05);
+        assert_eq!(tr.logr_at(0.5), 4.0);
+        assert_eq!(tr.logr_at(1.0), 4.0);
+    }
+
+    #[test]
+    fn log_linear_growth() {
+        let tr = DriftTrajectory::simple(4.0, 0.02);
+        // After 10^5 seconds: 4.0 + 0.02*5 = 4.1.
+        assert!((tr.logr_at(1e5) - 4.1).abs() < 1e-12);
+        // Drift in *linear* R: R(t) = 1e4 * t^0.02.
+        let r = 10f64.powf(tr.logr_at(100.0));
+        assert!((r - 1e4 * 100f64.powf(0.02)).abs() / r < 1e-12);
+    }
+
+    #[test]
+    fn drift_rate_decreases_with_time() {
+        // dR/dt = α R0 t^(α-1) must be monotonically decreasing (§1).
+        let tr = DriftTrajectory::simple(4.0, 0.06);
+        let r = |t: f64| 10f64.powf(tr.logr_at(t));
+        let slope = |t: f64| (r(t * 1.001) - r(t)) / (t * 0.001);
+        assert!(slope(10.0) > slope(100.0));
+        assert!(slope(100.0) > slope(10_000.0));
+    }
+
+    #[test]
+    fn time_to_reach_inverts_logr_at() {
+        let tr = DriftTrajectory::simple(4.2, 0.03);
+        let t = tr.time_to_reach(4.5).unwrap();
+        assert!((tr.logr_at(t) - 4.5).abs() < 1e-9);
+        // 0.3 / 0.03 = 10 decades.
+        assert!((t - 1e10).abs() / 1e10 < 1e-9);
+    }
+
+    #[test]
+    fn zero_alpha_never_reaches() {
+        let tr = DriftTrajectory::simple(4.0, 0.0);
+        assert_eq!(tr.time_to_reach(4.01), None);
+        assert_eq!(tr.logr_at(1e30), 4.0);
+    }
+
+    #[test]
+    fn negative_alpha_drifts_down() {
+        let tr = DriftTrajectory::simple(4.0, -0.01);
+        assert!(tr.logr_at(1e6) < 4.0);
+        assert_eq!(tr.time_to_reach(4.5), None);
+    }
+
+    #[test]
+    fn switch_accelerates_after_crossing() {
+        // S2 cell at 4.3, slow α1=0.02; switch at 4.5 to α2=0.06.
+        let tr = DriftTrajectory::with_switch(4.3, 0.02, 4.5, 0.06);
+        let lc = (4.5 - 4.3) / 0.02; // 10 decades
+        assert!((tr.logr_at_log_time(lc) - 4.5).abs() < 1e-12);
+        // 2 decades past the switch: 4.5 + 0.06*2 = 4.62 (not 4.54).
+        assert!((tr.logr_at_log_time(lc + 2.0) - 4.62).abs() < 1e-12);
+        // Continuity at the switch.
+        let eps = 1e-9;
+        assert!((tr.logr_at_log_time(lc + eps) - tr.logr_at_log_time(lc - eps)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn switch_time_to_reach_piecewise() {
+        let tr = DriftTrajectory::with_switch(4.3, 0.02, 4.5, 0.06);
+        // Reaching 5.5 needs 10 decades to switch + (1.0/0.06) decades after.
+        let l = tr.log_time_to_reach(5.5).unwrap();
+        assert!((l - (10.0 + 1.0 / 0.06)).abs() < 1e-9);
+        // Below the switch, regime 1 applies.
+        let l2 = tr.log_time_to_reach(4.4).unwrap();
+        assert!((l2 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starts_above_switch_uses_fast_rate_immediately() {
+        let tr = DriftTrajectory::with_switch(4.6, 0.02, 4.5, 0.06);
+        // One decade: 4.6 + 0.06.
+        assert!((tr.logr_at_log_time(1.0) - 4.66).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switch_with_stalled_first_regime_never_crosses() {
+        let tr = DriftTrajectory::with_switch(4.0, 0.0, 4.5, 0.06);
+        assert_eq!(tr.time_to_reach(5.0), None);
+        assert_eq!(tr.logr_at(1e20), 4.0);
+    }
+}

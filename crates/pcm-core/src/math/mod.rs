@@ -1,0 +1,16 @@
+//! In-repo numerics: special functions, Gauss–Legendre quadrature and
+//! statistics helpers.
+//!
+//! Implemented from scratch so the whole reproduction is deterministic and
+//! dependency-light (see DESIGN.md §6).
+
+pub mod quad;
+pub mod special;
+pub mod stats;
+
+pub use quad::GaussLegendre;
+pub use special::{
+    beta_inc, binomial_pmf, binomial_sf, erf, erfc, inverse_normal_cdf, ln_choose, ln_gamma,
+    normal_cdf, normal_pdf, normal_sf,
+};
+pub use stats::{Histogram, Proportion, RunningStats};

@@ -1,0 +1,150 @@
+//! Gauss–Legendre quadrature.
+//!
+//! The analytic drift-error-rate estimator ([`crate::cer::analytic`])
+//! integrates tail probabilities over the truncated-Gaussian write
+//! distribution and, for the piecewise 3LC drift model, over the drift-rate
+//! distribution as well. Gauss–Legendre handles these smooth integrands with
+//! spectral accuracy; 64 nodes resolve every integral in the paper far below
+//! Monte-Carlo noise.
+
+/// A Gauss–Legendre rule on `[-1, 1]`: paired nodes and weights.
+#[derive(Debug, Clone)]
+pub struct GaussLegendre {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Build an `n`-point rule. Nodes are roots of the Legendre polynomial
+    /// `P_n`, found by Newton iteration from the Chebyshev-like initial
+    /// guesses (the classical `gauleg` construction).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one quadrature node");
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Initial guess for the i-th root.
+            let mut z =
+                (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut pp = 0.0;
+            for _ in 0..100 {
+                // Evaluate P_n(z) by recurrence.
+                let mut p1 = 1.0;
+                let mut p2 = 0.0;
+                for j in 0..n {
+                    let p3 = p2;
+                    p2 = p1;
+                    p1 = ((2.0 * j as f64 + 1.0) * z * p2 - j as f64 * p3) / (j as f64 + 1.0);
+                }
+                pp = n as f64 * (z * p1 - p2) / (z * z - 1.0);
+                let z1 = z;
+                z = z1 - p1 / pp;
+                if (z - z1).abs() < 1e-15 {
+                    break;
+                }
+            }
+            nodes[i] = -z;
+            nodes[n - 1 - i] = z;
+            let w = 2.0 / ((1.0 - z * z) * pp * pp);
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        Self { nodes, weights }
+    }
+
+    /// Number of nodes in the rule.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the rule has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Integrate `f` over `[a, b]`.
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, a: f64, b: f64, mut f: F) -> f64 {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        let mut acc = 0.0;
+        for (&x, &w) in self.nodes.iter().zip(&self.weights) {
+            acc += w * f(mid + half * x);
+        }
+        acc * half
+    }
+
+    /// The nodes mapped to `[a, b]`, paired with the scaled weights.
+    /// Useful when the same grid feeds several integrands.
+    pub fn mapped(&self, a: f64, b: f64) -> Vec<(f64, f64)> {
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| (mid + half * x, w * half))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_polynomials_exactly() {
+        // An n-point rule is exact for polynomials of degree 2n-1.
+        let gl = GaussLegendre::new(5);
+        // ∫_0^1 x^9 dx = 0.1
+        let v = gl.integrate(0.0, 1.0, |x| x.powi(9));
+        assert!((v - 0.1).abs() < 1e-14, "{v}");
+    }
+
+    #[test]
+    fn integrates_gaussian_density() {
+        let gl = GaussLegendre::new(64);
+        let inv = 1.0 / (2.0 * std::f64::consts::PI).sqrt();
+        let v = gl.integrate(-8.0, 8.0, |x| inv * (-0.5 * x * x).exp());
+        assert!((v - 1.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn weights_are_positive_and_sum_to_two() {
+        for n in [1, 2, 3, 8, 33, 64, 101] {
+            let gl = GaussLegendre::new(n);
+            assert!(gl.weights.iter().all(|&w| w > 0.0));
+            let s: f64 = gl.weights.iter().sum();
+            assert!((s - 2.0).abs() < 1e-12, "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn nodes_sorted_and_symmetric() {
+        let gl = GaussLegendre::new(16);
+        for w in gl.nodes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for i in 0..8 {
+            assert!((gl.nodes[i] + gl.nodes[15 - i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn mapped_matches_integrate() {
+        let gl = GaussLegendre::new(24);
+        let f = |x: f64| (x * 1.3).sin() + x * x;
+        let direct = gl.integrate(0.5, 2.5, f);
+        let via_mapped: f64 = gl.mapped(0.5, 2.5).iter().map(|&(x, w)| w * f(x)).sum();
+        assert!((direct - via_mapped).abs() < 1e-13);
+    }
+
+    #[test]
+    fn handles_tail_probability_integrand() {
+        // ∫ φ(x) Φ̄(x) dx over ℝ = P(X < Y) for iid normals = ... actually
+        // = 1/2 by symmetry; checks composition with special functions.
+        use crate::math::special::{normal_pdf, normal_sf};
+        let gl = GaussLegendre::new(96);
+        let v = gl.integrate(-10.0, 10.0, |x| normal_pdf(x) * normal_sf(x));
+        assert!((v - 0.5).abs() < 1e-10, "{v}");
+    }
+}

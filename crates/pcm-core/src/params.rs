@@ -1,0 +1,251 @@
+//! Physical and architectural parameters from the paper.
+//!
+//! Table 1 (resistance and drift parameters, after Xu & Zhang \[37\]):
+//!
+//! | state | log10 R | σR (log10) | µα    | σα        |
+//! |-------|---------|------------|-------|-----------|
+//! | S1    | 3       | 1/6        | 0.001 | 0.4 × µα  |
+//! | S2    | 4       | 1/6        | 0.02  | 0.4 × µα  |
+//! | S3    | 5       | 1/6        | 0.06  | 0.4 × µα  |
+//! | S4    | 6       | 1/6        | 0.1   | 0.4 × µα  |
+//!
+//! Writes are accepted within ±2.75σ of nominal (§2.2); the mapping
+//! optimizer uses a guard band δ = 0.05σ (§5.1); drift follows
+//! R(t) = R0·(t/t0)^α with t0 = 1 s (Eq. 1 — the paper leaves t0
+//! unspecified; 1 s makes its Figure-3 time axis, 2¹…2⁴⁰ s, line up).
+
+/// Identity of a physical cell state. Drift parameters attach to the state
+/// *identity*, not to its (possibly re-mapped) nominal resistance: the
+/// paper's optimal mapping moves nominal values but keeps each state's α
+/// distribution (§5.1), and the extra conservatism for drifted 3LC cells is
+/// modeled separately by the 10^4.5 Ω rate switch (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateLabel {
+    /// Lowest resistance (fully crystalline), log10 R = 3.
+    S1,
+    /// Second-lowest resistance, log10 R = 4.
+    S2,
+    /// Second-highest resistance, log10 R = 5. Most drift-vulnerable.
+    S3,
+    /// Highest resistance (amorphous), log10 R = 6. Immune to upward drift.
+    S4,
+}
+
+impl StateLabel {
+    /// All four labels, lowest resistance first.
+    pub const ALL: [StateLabel; 4] = [
+        StateLabel::S1,
+        StateLabel::S2,
+        StateLabel::S3,
+        StateLabel::S4,
+    ];
+
+    /// Nominal log10 resistance in the naive (Table 1) mapping.
+    pub fn nominal_logr(self) -> f64 {
+        match self {
+            StateLabel::S1 => 3.0,
+            StateLabel::S2 => 4.0,
+            StateLabel::S3 => 5.0,
+            StateLabel::S4 => 6.0,
+        }
+    }
+
+    /// Drift-exponent distribution (µα, σα) from Table 1.
+    pub fn drift_alpha(self) -> AlphaDistribution {
+        let mu = match self {
+            StateLabel::S1 => 0.001,
+            StateLabel::S2 => 0.02,
+            StateLabel::S3 => 0.06,
+            StateLabel::S4 => 0.1,
+        };
+        AlphaDistribution {
+            mu,
+            sigma: ALPHA_SIGMA_RATIO * mu,
+        }
+    }
+
+    /// Short display name matching the paper ("S1" … "S4").
+    pub fn name(self) -> &'static str {
+        match self {
+            StateLabel::S1 => "S1",
+            StateLabel::S2 => "S2",
+            StateLabel::S3 => "S3",
+            StateLabel::S4 => "S4",
+        }
+    }
+}
+
+/// Normal distribution of the per-cell drift exponent α.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaDistribution {
+    /// Mean drift exponent µα.
+    pub mu: f64,
+    /// Standard deviation σα (process variation).
+    pub sigma: f64,
+}
+
+/// σR, the log10-domain standard deviation of a written cell's resistance.
+pub const SIGMA_LOGR: f64 = 1.0 / 6.0;
+
+/// σα / µα ratio from Table 1.
+pub const ALPHA_SIGMA_RATIO: f64 = 0.4;
+
+/// Write-and-verify acceptance window, in units of σR (§2.2).
+pub const WRITE_TOLERANCE_SIGMA: f64 = 2.75;
+
+/// Optimizer guard band δ, in units of σR (§5.1).
+pub const GUARD_BAND_SIGMA: f64 = 0.05;
+
+/// Normalization time t0 of the drift law (seconds).
+pub const DRIFT_T0_SECS: f64 = 1.0;
+
+/// log10 resistance at which a drifting 3LC S2 cell conservatively switches
+/// to S3's (faster) drift-rate distribution (§5.3).
+pub const DRIFT_SWITCH_LOGR: f64 = 4.5;
+
+/// Evaluation time used by the mapping optimizer: t = 2¹⁵ s (§5.1).
+pub const OPTIMIZER_EVAL_TIME_SECS: f64 = 32_768.0;
+
+/// The paper's canonical refresh interval for volatile-memory use:
+/// 17 minutes ≈ 2¹⁰ s (§4.1).
+pub const REFRESH_17MIN_SECS: f64 = 1024.0;
+
+/// Device geometry used throughout the paper's reliability analysis (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceGeometry {
+    /// Total device capacity in bytes (paper: 16 GiB).
+    pub capacity_bytes: u64,
+    /// Access-block size in bytes (paper: 64 B).
+    pub block_bytes: u64,
+    /// Number of independently refreshable banks (paper: 8).
+    pub banks: u32,
+    /// Time to refresh (read–correct–rewrite) one block, seconds
+    /// (paper: 1 µs MLC write).
+    pub block_refresh_secs: f64,
+}
+
+impl Default for DeviceGeometry {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 16 * (1 << 30),
+            block_bytes: 64,
+            banks: 8,
+            block_refresh_secs: 1e-6,
+        }
+    }
+}
+
+impl DeviceGeometry {
+    /// Number of access blocks in the device.
+    pub fn blocks(&self) -> u64 {
+        self.capacity_bytes / self.block_bytes
+    }
+
+    /// Seconds to refresh every block once, back to back.
+    pub fn full_refresh_secs(&self) -> f64 {
+        self.blocks() as f64 * self.block_refresh_secs
+    }
+
+    /// The paper's reliability goal: at most one erroneous block per device
+    /// over ten years, i.e. a *cumulative* target BLER of
+    /// `block_bytes / capacity_bytes` (§4.2; 3.73e-9 for 64 B / 16 GiB).
+    pub fn target_cumulative_bler(&self) -> f64 {
+        self.block_bytes as f64 / self.capacity_bytes as f64
+    }
+
+    /// Per-refresh-period target BLER for a given refresh interval over a
+    /// `horizon_secs` reliability horizon (paper: ten years).
+    pub fn target_bler_per_period(&self, refresh_interval_secs: f64, horizon_secs: f64) -> f64 {
+        let periods = (horizon_secs / refresh_interval_secs).max(1.0);
+        self.target_cumulative_bler() / periods
+    }
+}
+
+/// Seconds in a (Julian) year, used for the figures' time axes.
+pub const SECS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Ten years in seconds — the paper's nonvolatility horizon.
+pub const TEN_YEARS_SECS: f64 = 10.0 * SECS_PER_YEAR;
+
+/// The Figure 3/8 time grid: powers of two from 2¹ s to 2⁴⁰ s
+/// (2 s, 32 s, 17 min, 9 h, 12 d, 1 y, 34 y, 1089 y, 34865 y at the
+/// labeled ticks).
+pub fn figure_time_grid() -> Vec<f64> {
+    (1..=40).map(|e| (2.0f64).powi(e)).collect()
+}
+
+/// Human-readable label for a duration in seconds, in the paper's style.
+pub fn format_duration(secs: f64) -> String {
+    if secs < 60.0 {
+        format!("{secs:.0}s")
+    } else if secs < 3600.0 {
+        format!("{:.0}min", secs / 60.0)
+    } else if secs < 86_400.0 {
+        format!("{:.0}hour", secs / 3600.0)
+    } else if secs < SECS_PER_YEAR {
+        format!("{:.0}day", secs / 86_400.0)
+    } else {
+        format!("{:.0}year", secs / SECS_PER_YEAR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        assert_eq!(StateLabel::S1.nominal_logr(), 3.0);
+        assert_eq!(StateLabel::S4.nominal_logr(), 6.0);
+        let a2 = StateLabel::S2.drift_alpha();
+        assert_eq!(a2.mu, 0.02);
+        assert!((a2.sigma - 0.008).abs() < 1e-15);
+        let a3 = StateLabel::S3.drift_alpha();
+        assert_eq!(a3.mu, 0.06);
+        assert!((a3.sigma - 0.024).abs() < 1e-15);
+    }
+
+    #[test]
+    fn alpha_ordering_matches_resistance_ordering() {
+        let mus: Vec<f64> = StateLabel::ALL.iter().map(|s| s.drift_alpha().mu).collect();
+        for w in mus.windows(2) {
+            assert!(w[0] < w[1], "drift rate must grow with resistance");
+        }
+    }
+
+    #[test]
+    fn device_geometry_paper_numbers() {
+        let g = DeviceGeometry::default();
+        assert_eq!(g.blocks(), 268_435_456); // 16 GiB / 64 B
+        // "refreshing a 16GB device takes around 268 s" (§4.1).
+        assert!((g.full_refresh_secs() - 268.4).abs() < 0.5);
+        // "target cumulative BLER of 3.73E-9" (§4.2).
+        let t = g.target_cumulative_bler();
+        assert!((t - 3.73e-9).abs() < 0.01e-9, "{t:e}");
+    }
+
+    #[test]
+    fn per_period_target_17min() {
+        let g = DeviceGeometry::default();
+        let per = g.target_bler_per_period(REFRESH_17MIN_SECS, TEN_YEARS_SECS);
+        // The paper quotes 1.20e-14 for the 17-minute line in Figure 5.
+        assert!((1.0e-14..2.0e-14).contains(&per), "{per:e}");
+    }
+
+    #[test]
+    fn time_grid_endpoints() {
+        let g = figure_time_grid();
+        assert_eq!(g.len(), 40);
+        assert_eq!(g[0], 2.0);
+        assert_eq!(g[39], (2.0f64).powi(40));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(2.0), "2s");
+        assert_eq!(format_duration(1024.0), "17min");
+        assert_eq!(format_duration(32_768.0), "9hour");
+        assert_eq!(format_duration((2.0f64).powi(20)), "12day");
+        assert_eq!(format_duration((2.0f64).powi(30)), "34year");
+    }
+}

@@ -1,0 +1,292 @@
+//! Refresh-interval feasibility, availability, and retention-time analysis
+//! (§4.1, Figure 4; §5.3's retention claims).
+
+use crate::bler::block_error_rate;
+use crate::cer::CerEstimator;
+use crate::level::LevelDesign;
+use crate::params::DeviceGeometry;
+
+/// Availability of a PCM device at a given refresh interval (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Availability {
+    /// Refresh interval in seconds.
+    pub interval_secs: f64,
+    /// Fraction of time the whole device is available when refresh walks
+    /// the device one block at a time (device stalls during each block).
+    pub device: f64,
+    /// Fraction of time a given bank is available when banks refresh
+    /// independently (paper: 8 banks → 97% at 17 minutes).
+    pub bank: f64,
+}
+
+/// Compute Figure 4's availability numbers.
+pub fn availability(geometry: &DeviceGeometry, interval_secs: f64) -> Availability {
+    assert!(interval_secs > 0.0);
+    let full = geometry.full_refresh_secs();
+    let per_bank = full / geometry.banks as f64;
+    Availability {
+        interval_secs,
+        device: (1.0 - full / interval_secs).max(0.0),
+        bank: (1.0 - per_bank / interval_secs).max(0.0),
+    }
+}
+
+/// Minimum refresh interval the device's write throughput can sustain:
+/// one full refresh pass must fit in the interval with headroom for demand
+/// writes (§4.1 argues the interval should be well above the 410 s a
+/// 40 MB/s device needs for one pass; the paper doubles it).
+pub fn min_interval_for_write_throughput(
+    geometry: &DeviceGeometry,
+    write_bytes_per_sec: f64,
+    headroom_factor: f64,
+) -> f64 {
+    assert!(write_bytes_per_sec > 0.0 && headroom_factor >= 1.0);
+    let pass_secs = geometry.capacity_bytes as f64 / write_bytes_per_sec;
+    pass_secs * headroom_factor
+}
+
+/// Per-period reliability check: does design + ECC meet the ten-year goal
+/// at refresh interval `interval_secs`?
+pub fn meets_target(
+    design: &LevelDesign,
+    estimator: &dyn CerEstimator,
+    ecc_t: u64,
+    block_cells: u64,
+    geometry: &DeviceGeometry,
+    interval_secs: f64,
+    horizon_secs: f64,
+) -> bool {
+    let cer = estimator.cer(design, interval_secs);
+    let bler = block_error_rate(cer, ecc_t, block_cells);
+    bler <= geometry.target_bler_per_period(interval_secs, horizon_secs)
+}
+
+/// Longest feasible refresh interval on a log-spaced grid: the largest
+/// interval (power of two seconds, 2¹..2⁴⁰) for which the per-period BLER
+/// stays under the ten-year target. `None` if even 2 s fails.
+///
+/// A subtlety the paper leans on (§4.2): as the interval grows, the target
+/// per-period BLER *relaxes* (fewer periods in ten years) while the CER
+/// *grows*; the feasible set is still an interval in practice because CER
+/// grows much faster than linearly near the margin cliff, but we scan
+/// rather than bisect to avoid assuming monotonicity.
+pub fn max_feasible_interval(
+    design: &LevelDesign,
+    estimator: &dyn CerEstimator,
+    ecc_t: u64,
+    block_cells: u64,
+    geometry: &DeviceGeometry,
+    horizon_secs: f64,
+) -> Option<f64> {
+    crate::params::figure_time_grid()
+        .into_iter()
+        .filter(|&t| {
+            meets_target(
+                design, estimator, ecc_t, block_cells, geometry, t, horizon_secs,
+            )
+        })
+        .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))
+}
+
+/// Is the design *nonvolatile* by the paper's definition: can it retain
+/// data for at least `horizon_secs` (ten years) without any refresh, with
+/// the given ECC, meeting the one-bad-block-per-device goal?
+pub fn is_nonvolatile(
+    design: &LevelDesign,
+    estimator: &dyn CerEstimator,
+    ecc_t: u64,
+    block_cells: u64,
+    geometry: &DeviceGeometry,
+    horizon_secs: f64,
+) -> bool {
+    let cer = estimator.cer(design, horizon_secs);
+    let bler = block_error_rate(cer, ecc_t, block_cells);
+    bler <= geometry.target_cumulative_bler()
+}
+
+/// Monte-Carlo percentiles of the per-cell retention time for one state:
+/// how long until the `q`-quantile cell of a freshly written population
+/// first senses wrong. This is the per-cell view behind Figures 2 and 3:
+/// the *weak tail* (low percentiles) sets the refresh interval, not the
+/// median.
+///
+/// Returns one duration (seconds, `f64::INFINITY` = never errs) per
+/// requested quantile `q ∈ (0, 1)`.
+pub fn retention_percentiles(
+    design: &LevelDesign,
+    state: usize,
+    quantiles: &[f64],
+    samples: u64,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(samples >= 1);
+    assert!(quantiles.iter().all(|&q| q > 0.0 && q < 1.0));
+    let mut rng = crate::rng::Xoshiro256pp::seed_from_u64(seed);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let cell = crate::cell::write_cell(design, state, &mut rng);
+            crate::cell::retention_secs(design, &cell).unwrap_or(f64::INFINITY)
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("retention times are ordered"));
+    quantiles
+        .iter()
+        .map(|&q| {
+            let idx = ((samples as f64 * q) as usize).min(samples as usize - 1);
+            times[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cer::AnalyticCer;
+    use crate::level::LevelDesign;
+    use crate::params::{REFRESH_17MIN_SECS, TEN_YEARS_SECS};
+
+    #[test]
+    fn figure4_anchor_points() {
+        let g = DeviceGeometry::default();
+        // §4.1: at 17 minutes, device availability ≈ 74%, bank ≈ 97%.
+        let a = availability(&g, REFRESH_17MIN_SECS);
+        assert!((a.device - 0.74).abs() < 0.01, "device {:.3}", a.device);
+        assert!((a.bank - 0.967).abs() < 0.005, "bank {:.3}", a.bank);
+        // Availability → 1 for long intervals, → 0 for absurdly short ones.
+        assert!(availability(&g, 137.0 * 60.0).bank > 0.995);
+        assert_eq!(availability(&g, 100.0).device, 0.0);
+    }
+
+    #[test]
+    fn availability_monotone_in_interval() {
+        let g = DeviceGeometry::default();
+        let mut last = availability(&g, 60.0);
+        for mins in [2.0, 4.0, 9.0, 17.0, 34.0, 68.0, 137.0] {
+            let a = availability(&g, mins * 60.0);
+            assert!(a.device >= last.device && a.bank >= last.bank);
+            last = a;
+        }
+    }
+
+    #[test]
+    fn write_throughput_floor_matches_paper() {
+        let g = DeviceGeometry::default();
+        // §4.1: 16 GB at 40 MB/s → one pass ≈ 410 s ("around 410 s");
+        // doubling gives the ~17-minute choice.
+        let pass = min_interval_for_write_throughput(&g, 40e6, 1.0);
+        assert!((425.0..435.0).contains(&pass), "{pass}");
+        let chosen = min_interval_for_write_throughput(&g, 40e6, 2.0);
+        assert!(
+            chosen < REFRESH_17MIN_SECS * 1.1,
+            "17 min must satisfy the 2x headroom rule: {chosen}"
+        );
+    }
+
+    #[test]
+    fn naive_4lc_is_volatile_even_with_strong_ecc() {
+        let est = AnalyticCer::default();
+        let d = LevelDesign::four_level_naive();
+        let g = DeviceGeometry::default();
+        assert!(!is_nonvolatile(
+            &d,
+            &est,
+            20,
+            crate::bler::FOUR_LEVEL_DATA_CELLS,
+            &g,
+            TEN_YEARS_SECS
+        ));
+    }
+
+    #[test]
+    fn three_level_is_nonvolatile_with_bch1() {
+        let est = AnalyticCer::default();
+        let d = LevelDesign::three_level_naive();
+        let g = DeviceGeometry::default();
+        // 3-ON-2 block: 364 cells (§6.5), BCH-1.
+        assert!(is_nonvolatile(&d, &est, 1, 364, &g, TEN_YEARS_SECS));
+    }
+
+    #[test]
+    fn four_level_optimal_feasible_at_17min_with_bch10() {
+        let est = AnalyticCer::default();
+        let d = crate::optimize::four_level_optimal();
+        let g = DeviceGeometry::default();
+        assert!(meets_target(
+            d,
+            &est,
+            10,
+            crate::bler::FOUR_LEVEL_DATA_CELLS,
+            &g,
+            REFRESH_17MIN_SECS,
+            TEN_YEARS_SECS
+        ));
+        let max = max_feasible_interval(
+            d,
+            &est,
+            10,
+            crate::bler::FOUR_LEVEL_DATA_CELLS,
+            &g,
+            TEN_YEARS_SECS,
+        )
+        .expect("4LCo+BCH-10 must be feasible somewhere");
+        assert!(
+            max >= REFRESH_17MIN_SECS,
+            "max feasible interval {max}s < 17 min"
+        );
+        // But nowhere near nonvolatile: must fail at ten years.
+        assert!(max < TEN_YEARS_SECS);
+    }
+
+    #[test]
+    fn retention_percentiles_match_cer_view() {
+        // The q-quantile retention time and the CER at that time must be
+        // mutually consistent: CER(t_q) ≈ q.
+        let d = LevelDesign::four_level_naive();
+        let est = AnalyticCer::default();
+        let qs = [0.001, 0.01, 0.1];
+        let ts = retention_percentiles(&d, 2, &qs, 200_000, 7);
+        for (&q, &t) in qs.iter().zip(&ts) {
+            assert!(t.is_finite(), "S3's weak tail must be finite");
+            let cer = est.state_cer(&d, 2, t);
+            assert!(
+                (cer / q) > 0.5 && (cer / q) < 2.0,
+                "q={q}: t={t:.1}s but CER(t)={cer:e}"
+            );
+        }
+        // Percentiles are ordered.
+        assert!(ts[0] < ts[1] && ts[1] < ts[2]);
+    }
+
+    #[test]
+    fn retention_tail_contrast_3lc_vs_4lc() {
+        // The 0.1% weakest S2 cell: minutes-scale in 4LCn, decades-scale
+        // in 3LCn — the per-cell statement of the paper's headline.
+        let q = [0.001];
+        let four = retention_percentiles(&LevelDesign::four_level_naive(), 1, &q, 100_000, 5)[0];
+        let three = retention_percentiles(&LevelDesign::three_level_naive(), 1, &q, 100_000, 5)[0];
+        assert!(four < 3600.0 * 24.0, "4LCn weak tail: {four}s");
+        assert!(
+            three > 10.0 * crate::params::SECS_PER_YEAR,
+            "3LCn weak tail: {three}s"
+        );
+    }
+
+    #[test]
+    fn top_state_retention_is_infinite() {
+        let d = LevelDesign::four_level_naive();
+        let ts = retention_percentiles(&d, 3, &[0.5], 10_000, 3);
+        assert_eq!(ts[0], f64::INFINITY);
+    }
+
+    #[test]
+    fn three_level_max_interval_exceeds_years() {
+        let est = AnalyticCer::default();
+        let d = LevelDesign::three_level_naive();
+        let g = DeviceGeometry::default();
+        let max = max_feasible_interval(&d, &est, 1, 364, &g, TEN_YEARS_SECS).unwrap();
+        assert!(
+            max > 3.15e8,
+            "3LCn+BCH-1 feasible interval should exceed a decade: {max}"
+        );
+    }
+}

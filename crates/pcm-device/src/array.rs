@@ -1,0 +1,267 @@
+//! The physical cell array: per-cell analog state with drift, wear, and
+//! stuck-at faults.
+//!
+//! Each cell stores its ground truth — the program-and-verify outcome
+//! `logR0`, its sampled drift exponents, the absolute write time — so a
+//! sense at any later time reproduces the exact drift law the paper's
+//! Monte Carlo uses. Wearout is charged per program-and-verify iteration;
+//! a worn cell becomes stuck (stuck-reset at the top state, stuck-set at
+//! the bottom unless revived, §6.4).
+
+use pcm_core::drift::DriftTrajectory;
+use pcm_core::level::LevelDesign;
+use pcm_core::rng::Xoshiro256pp;
+use pcm_wearout::fault::{EnduranceModel, FaultKind, WearState};
+
+/// One physical cell.
+#[derive(Debug, Clone)]
+pub struct PhysicalCell {
+    trajectory: DriftTrajectory,
+    write_time: f64,
+    wear: WearState,
+    stuck_logr: Option<f64>,
+    fault: Option<FaultKind>,
+}
+
+/// Outcome of programming one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramOutcome {
+    /// Program-and-verify iterations consumed (wear cycles).
+    pub attempts: u32,
+    /// A wearout fault discovered *by this write* (write-and-verify is the
+    /// detection point, §6.4). `None` if the cell is healthy or its fault
+    /// was already known.
+    pub new_fault: Option<FaultKind>,
+    /// Whether the cell now holds the requested state (false for stuck
+    /// cells that could not be forced there).
+    pub verified: bool,
+}
+
+/// A flat array of physical cells.
+#[derive(Debug)]
+pub struct CellArray {
+    cells: Vec<PhysicalCell>,
+    endurance: EnduranceModel,
+    rng: Xoshiro256pp,
+}
+
+impl CellArray {
+    /// Allocate `n` pristine cells (erased to the lowest state at t = 0,
+    /// no drift until written).
+    pub fn new(n: usize, endurance: EnduranceModel, seed: u64) -> Self {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let cells = (0..n)
+            .map(|_| PhysicalCell {
+                trajectory: DriftTrajectory::simple(3.0, 0.0),
+                write_time: 0.0,
+                wear: WearState::new(&endurance, &mut rng),
+                stuck_logr: None,
+                fault: None,
+            })
+            .collect();
+        Self {
+            cells,
+            endurance,
+            rng,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Program cell `idx` to `state` of `design` at absolute time `now`.
+    pub fn program(
+        &mut self,
+        idx: usize,
+        design: &LevelDesign,
+        state: usize,
+        now: f64,
+    ) -> ProgramOutcome {
+        let endurance = self.endurance;
+        let cell = &mut self.cells[idx];
+
+        if let Some(stuck) = cell.stuck_logr {
+            // Already-known-stuck cells take the pulse (and the wear) but
+            // verify only if the stuck level happens to sense as `state`.
+            cell.wear.wear(1, &endurance, &mut self.rng);
+            let sensed = design.sense(stuck);
+            return ProgramOutcome {
+                attempts: 1,
+                new_fault: None,
+                verified: sensed == state,
+            };
+        }
+
+        let written = pcm_core::cell::write_cell(design, state, &mut self.rng);
+        let new_fault = cell
+            .wear
+            .wear(written.write_attempts as u64, &endurance, &mut self.rng);
+        if let Some(fault) = new_fault {
+            cell.fault = Some(fault);
+            // §6.4 failure semantics: stuck-reset pins the cell at the
+            // amorphous extreme; stuck-set pins it crystalline unless the
+            // reverse-current revival can force it to S4.
+            let stuck = match fault {
+                FaultKind::StuckReset => 6.0,
+                FaultKind::StuckSet { revivable: true } => 6.0,
+                FaultKind::StuckSet { revivable: false } => 3.0,
+            };
+            cell.stuck_logr = Some(stuck);
+            let sensed = design.sense(stuck);
+            return ProgramOutcome {
+                attempts: written.write_attempts,
+                new_fault,
+                verified: sensed == state,
+            };
+        }
+
+        cell.trajectory = written.trajectory;
+        cell.write_time = now;
+        ProgramOutcome {
+            attempts: written.write_attempts,
+            new_fault: None,
+            verified: true,
+        }
+    }
+
+    /// Sense cell `idx` at absolute time `now` under `design`.
+    pub fn sense(&self, idx: usize, design: &LevelDesign, now: f64) -> usize {
+        design.sense(self.logr(idx, now))
+    }
+
+    /// Raw analog log-resistance of cell `idx` at time `now`.
+    pub fn logr(&self, idx: usize, now: f64) -> f64 {
+        let cell = &self.cells[idx];
+        if let Some(stuck) = cell.stuck_logr {
+            return stuck;
+        }
+        let elapsed = (now - cell.write_time).max(0.0);
+        cell.trajectory.logr_at(elapsed)
+    }
+
+    /// The cell's known fault, if any.
+    pub fn fault(&self, idx: usize) -> Option<FaultKind> {
+        self.cells[idx].fault
+    }
+
+    /// Force a cell's remaining lifetime (test/fault-injection hook).
+    pub fn set_lifetime(&mut self, idx: usize, cycles: u64) {
+        self.cells[idx].wear.lifetime = cycles;
+        self.cells[idx].wear.cycles = 0;
+    }
+
+    /// Wear cycles consumed by cell `idx`.
+    pub fn wear_cycles(&self, idx: usize) -> u64 {
+        self.cells[idx].wear.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_core::level::LevelDesign;
+
+    fn array(n: usize) -> CellArray {
+        CellArray::new(n, EnduranceModel::mlc(), 42)
+    }
+
+    #[test]
+    fn program_then_sense_roundtrip() {
+        let d = LevelDesign::three_level_naive();
+        let mut a = array(100);
+        for i in 0..100 {
+            let state = i % 3;
+            let out = a.program(i, &d, state, 0.0);
+            assert!(out.verified);
+            assert_eq!(a.sense(i, &d, 0.0), state);
+        }
+    }
+
+    #[test]
+    fn drift_is_relative_to_write_time() {
+        let d = LevelDesign::four_level_naive();
+        let mut a = array(1);
+        a.program(0, &d, 2, 1_000.0);
+        let r_at_write = a.logr(0, 1_000.0);
+        let r_later = a.logr(0, 1_000.0 + 1e6);
+        assert!(r_later >= r_at_write);
+        // Sensing *before* the write time must not apply negative drift.
+        assert_eq!(a.logr(0, 0.0), r_at_write);
+    }
+
+    #[test]
+    fn rewrite_resets_drift_clock() {
+        let d = LevelDesign::four_level_naive();
+        let mut a = array(1);
+        a.program(0, &d, 2, 0.0);
+        let drifted = a.logr(0, 1e8);
+        a.program(0, &d, 2, 1e8); // refresh rewrites to nominal
+        let refreshed = a.logr(0, 1e8);
+        // Fresh write lands inside the ±2.75σ window around 5.0 again.
+        assert!(refreshed < 5.0 + 2.76 / 6.0, "{refreshed} after {drifted}");
+    }
+
+    #[test]
+    fn wearout_discovered_by_write_verify() {
+        let d = LevelDesign::three_level_naive();
+        let mut a = array(1);
+        a.set_lifetime(0, 3);
+        let mut fault = None;
+        for w in 0..10 {
+            let out = a.program(0, &d, 1, w as f64);
+            if out.new_fault.is_some() {
+                fault = out.new_fault;
+                break;
+            }
+        }
+        let fault = fault.expect("lifetime of 3 must wear out within 10 writes");
+        assert_eq!(a.fault(0), Some(fault));
+        // Once stuck, senses a constant state regardless of target.
+        let s_now = a.sense(0, &d, 100.0);
+        a.program(0, &d, (s_now + 1) % 3, 100.0);
+        assert_eq!(a.sense(0, &d, 1e9), s_now);
+    }
+
+    #[test]
+    fn stuck_reset_reads_top_state() {
+        let d = LevelDesign::three_level_naive();
+        let mut a = array(200);
+        let mut saw_reset = false;
+        let mut saw_dead_set = false;
+        for i in 0..200 {
+            a.set_lifetime(i, 1);
+            let out = a.program(i, &d, 0, 0.0);
+            match out.new_fault {
+                Some(FaultKind::StuckReset) | Some(FaultKind::StuckSet { revivable: true }) => {
+                    assert_eq!(a.sense(i, &d, 0.0), 2, "forced to S4");
+                    assert!(!out.verified, "S4 is not the requested S1");
+                    saw_reset = true;
+                }
+                Some(FaultKind::StuckSet { revivable: false }) => {
+                    assert_eq!(a.sense(i, &d, 0.0), 0, "pinned crystalline");
+                    assert!(out.verified, "S1 happened to be the target");
+                    saw_dead_set = true;
+                }
+                None => panic!("lifetime 1 must fail on first write"),
+            }
+        }
+        assert!(saw_reset && saw_dead_set, "both modes exercised");
+    }
+
+    #[test]
+    fn wear_accumulates_per_attempt() {
+        let d = LevelDesign::four_level_naive();
+        let mut a = array(1);
+        for w in 0..50 {
+            a.program(0, &d, 1, w as f64);
+        }
+        assert!(a.wear_cycles(0) >= 50);
+    }
+}

@@ -1,0 +1,372 @@
+//! The full PCM device: banks of blocks over a shared cell array, with a
+//! global clock, byte-addressed read/write, wearout injection, and
+//! cumulative statistics.
+//!
+//! Device capacities here are configurable (tests use kilobytes, the
+//! repro harness megabytes); the paper's 16 GiB geometry is represented
+//! analytically in `pcm_core::retention` — simulating every cell of 16 GiB
+//! is neither necessary nor useful, since blocks are statistically
+//! independent (see DESIGN.md §3).
+
+use crate::array::CellArray;
+use crate::block::{
+    BlockError, FourLevelBlock, ReadReport, ThreeLevelBlock, WriteReport, BLOCK_BYTES,
+    FOUR_LEVEL_BLOCK_CELLS, THREE_LEVEL_BLOCK_CELLS,
+};
+use crate::generic_block::GenericBlock;
+use pcm_codec::enumerative::EnumerativeCode;
+use pcm_core::level::LevelDesign;
+use pcm_wearout::fault::EnduranceModel;
+
+/// Which block organization a device uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOrganization {
+    /// The paper's 3LCo + 3-ON-2 + mark-and-spare + BCH-1 stack.
+    ThreeLevel(LevelDesign),
+    /// The 4LCo + Gray(+smart) + BCH-10 + ECP-6 stack.
+    FourLevel {
+        /// The four-level design (usually `four_level_optimal()`).
+        design: LevelDesign,
+        /// Enable the §5.1 smart-encoding pass.
+        smart: bool,
+    },
+    /// The §8 generalized K-level stack: enumerative data code + Gray
+    /// TEC + marker-state mark-and-spare ([`GenericBlock`]).
+    Generic {
+        /// The K-level design (K = `code.base()`).
+        design: LevelDesign,
+        /// The k-bits-in-m-symbols data code.
+        code: EnumerativeCode,
+        /// Worn groups tolerated per block.
+        spare_groups: usize,
+        /// BCH correction strength of the TEC.
+        tec_strength: usize,
+    },
+}
+
+enum AnyBlock {
+    Three(ThreeLevelBlock),
+    Four(FourLevelBlock),
+    Generic(Box<GenericBlock>),
+}
+
+impl AnyBlock {
+    fn write(&mut self, arr: &mut CellArray, now: f64, data: &[u8]) -> Result<WriteReport, BlockError> {
+        match self {
+            AnyBlock::Three(b) => b.write(arr, now, data),
+            AnyBlock::Four(b) => b.write(arr, now, data),
+            AnyBlock::Generic(b) => b.write(arr, now, data),
+        }
+    }
+    fn read(&self, arr: &CellArray, now: f64) -> Result<ReadReport, BlockError> {
+        match self {
+            AnyBlock::Three(b) => b.read(arr, now),
+            AnyBlock::Four(b) => b.read(arr, now),
+            AnyBlock::Generic(b) => b.read(arr, now),
+        }
+    }
+}
+
+/// Cumulative device statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Completed block writes.
+    pub writes: u64,
+    /// Completed block reads.
+    pub reads: u64,
+    /// Bits corrected by transient-error ECC across all reads.
+    pub corrected_bits: u64,
+    /// Reads that failed as uncorrectable.
+    pub uncorrectable_reads: u64,
+    /// Wearout faults discovered by write-and-verify.
+    pub wearout_faults: u64,
+    /// Blocks refreshed (scrubbed) by the refresh controller.
+    pub refreshes: u64,
+    /// Total program-and-verify iterations (wear cycles) issued.
+    pub write_attempts: u64,
+}
+
+/// A functional PCM device.
+pub struct PcmDevice {
+    array: CellArray,
+    blocks: Vec<AnyBlock>,
+    banks: usize,
+    now: f64,
+    stats: DeviceStats,
+}
+
+impl PcmDevice {
+    /// Build a device with `blocks` 64-byte blocks across `banks` banks
+    /// and the standard MLC endurance model.
+    pub fn new(org: CellOrganization, blocks: usize, banks: usize, seed: u64) -> Self {
+        Self::with_endurance(org, blocks, banks, seed, EnduranceModel::mlc())
+    }
+
+    /// Like [`Self::new`] with an explicit endurance model (accelerated-
+    /// wear studies, SLC-mode devices).
+    pub fn with_endurance(
+        org: CellOrganization,
+        blocks: usize,
+        banks: usize,
+        seed: u64,
+        endurance: EnduranceModel,
+    ) -> Self {
+        assert!(blocks >= 1 && banks >= 1 && blocks.is_multiple_of(banks));
+        let cells_per_block = match &org {
+            CellOrganization::ThreeLevel(_) => THREE_LEVEL_BLOCK_CELLS,
+            CellOrganization::FourLevel { .. } => FOUR_LEVEL_BLOCK_CELLS,
+            CellOrganization::Generic {
+                design,
+                code,
+                spare_groups,
+                tec_strength,
+            } => GenericBlock::new(
+                design.clone(),
+                *code,
+                0,
+                *spare_groups,
+                *tec_strength,
+            )
+            .cells(),
+        };
+        let array = CellArray::new(blocks * cells_per_block, endurance, seed);
+        let blocks_vec = (0..blocks)
+            .map(|b| match &org {
+                CellOrganization::ThreeLevel(d) => {
+                    AnyBlock::Three(ThreeLevelBlock::new(d.clone(), b * cells_per_block))
+                }
+                CellOrganization::FourLevel { design, smart } => AnyBlock::Four(
+                    FourLevelBlock::new(design.clone(), b * cells_per_block, *smart),
+                ),
+                CellOrganization::Generic {
+                    design,
+                    code,
+                    spare_groups,
+                    tec_strength,
+                } => AnyBlock::Generic(Box::new(GenericBlock::new(
+                    design.clone(),
+                    *code,
+                    b * cells_per_block,
+                    *spare_groups,
+                    *tec_strength,
+                ))),
+            })
+            .collect();
+        Self {
+            array,
+            blocks: blocks_vec,
+            banks,
+            now: 0.0,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.blocks.len() * BLOCK_BYTES
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Bank owning a block (low-order interleaving, like DDR rank/bank
+    /// address maps).
+    pub fn bank_of(&self, block: usize) -> usize {
+        block % self.banks
+    }
+
+    /// Current device time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance the global clock (drift accrues on every written cell).
+    pub fn advance_time(&mut self, secs: f64) {
+        assert!(secs >= 0.0, "time flows forward");
+        self.now += secs;
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Write 64 bytes to a block.
+    pub fn write_block(&mut self, block: usize, data: &[u8]) -> Result<WriteReport, BlockError> {
+        let r = self.blocks[block].write(&mut self.array, self.now, data);
+        if let Ok(rep) = &r {
+            self.stats.writes += 1;
+            self.stats.wearout_faults += rep.new_faults as u64;
+            self.stats.write_attempts += rep.attempts;
+        }
+        r
+    }
+
+    /// Read 64 bytes from a block.
+    pub fn read_block(&mut self, block: usize) -> Result<ReadReport, BlockError> {
+        let r = self.blocks[block].read(&self.array, self.now);
+        match &r {
+            Ok(rep) => {
+                self.stats.reads += 1;
+                self.stats.corrected_bits += rep.corrected_bits as u64;
+            }
+            Err(_) => self.stats.uncorrectable_reads += 1,
+        }
+        r
+    }
+
+    /// Refresh (scrub) one block: read, correct, rewrite — the §1
+    /// mechanism ("for every cell, at least once per refresh period, we
+    /// read, correct if needed, and re-write").
+    pub fn refresh_block(&mut self, block: usize) -> Result<(), BlockError> {
+        let data = self.blocks[block].read(&self.array, self.now)?.data;
+        self.blocks[block].write(&mut self.array, self.now, &data)?;
+        self.stats.refreshes += 1;
+        Ok(())
+    }
+
+    /// Fault-injection hook: force a cell's lifetime.
+    pub fn inject_lifetime(&mut self, cell: usize, cycles: u64) {
+        self.array.set_lifetime(cell, cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_level_device(blocks: usize) -> PcmDevice {
+        PcmDevice::new(
+            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
+            blocks,
+            4,
+            77,
+        )
+    }
+
+    #[test]
+    fn multi_block_roundtrip() {
+        let mut dev = three_level_device(16);
+        assert_eq!(dev.capacity_bytes(), 1024);
+        for b in 0..16 {
+            let data: Vec<u8> = (0..64).map(|i| (b * 64 + i) as u8).collect();
+            dev.write_block(b, &data).unwrap();
+        }
+        for b in 0..16 {
+            let expect: Vec<u8> = (0..64).map(|i| (b * 64 + i) as u8).collect();
+            assert_eq!(dev.read_block(b).unwrap().data, expect);
+        }
+        assert_eq!(dev.stats().writes, 16);
+        assert_eq!(dev.stats().reads, 16);
+    }
+
+    #[test]
+    fn clock_advances_and_data_survives_years_on_3lc() {
+        let mut dev = three_level_device(8);
+        let data = vec![0xABu8; 64];
+        dev.write_block(3, &data).unwrap();
+        dev.advance_time(5.0 * pcm_core::params::SECS_PER_YEAR);
+        assert_eq!(dev.read_block(3).unwrap().data, data);
+    }
+
+    #[test]
+    fn refresh_restores_margins_on_4lc() {
+        let mut dev = PcmDevice::new(
+            CellOrganization::FourLevel {
+                design: pcm_core::optimize::four_level_optimal().clone(),
+                smart: true,
+            },
+            8,
+            4,
+            5,
+        );
+        let data: Vec<u8> = (0..64).map(|i| i as u8 ^ 0x5A).collect();
+        dev.write_block(0, &data).unwrap();
+        // Refresh every 17 minutes for a simulated day: data must hold.
+        let interval = pcm_core::params::REFRESH_17MIN_SECS;
+        for _ in 0..20 {
+            dev.advance_time(interval);
+            dev.refresh_block(0).unwrap();
+        }
+        assert_eq!(dev.read_block(0).unwrap().data, data);
+        assert_eq!(dev.stats().refreshes, 20);
+    }
+
+    #[test]
+    fn unrefreshed_4lcn_dies_within_a_day() {
+        let mut dev = PcmDevice::new(
+            CellOrganization::FourLevel {
+                design: LevelDesign::four_level_naive(),
+                smart: false,
+            },
+            4,
+            4,
+            11,
+        );
+        let data = vec![0x77u8; 64];
+        dev.write_block(0, &data).unwrap();
+        dev.advance_time(86_400.0);
+        match dev.read_block(0) {
+            Err(BlockError::Uncorrectable) => {}
+            Ok(r) => assert_ne!(r.data, data),
+            Err(e) => panic!("unexpected {e}"),
+        }
+        assert_eq!(dev.stats().uncorrectable_reads + u64::from(dev.stats().reads > 0), 1);
+    }
+
+    #[test]
+    fn bank_mapping_interleaves() {
+        let dev = three_level_device(16);
+        assert_eq!(dev.bank_of(0), 0);
+        assert_eq!(dev.bank_of(5), 1);
+        assert_eq!(dev.bank_of(7), 3);
+    }
+
+    #[test]
+    fn generic_organization_works_device_wide() {
+        use pcm_codec::enumerative::EnumerativeCode;
+        // A ternary generic device must behave like the dedicated 3LC one.
+        let mut dev = PcmDevice::new(
+            CellOrganization::Generic {
+                design: LevelDesign::three_level_naive(),
+                code: EnumerativeCode::new(3, 2),
+                spare_groups: 6,
+                tec_strength: 1,
+            },
+            8,
+            4,
+            21,
+        );
+        let pat = |b: usize| vec![(b as u8).wrapping_mul(41) ^ 0x69; 64];
+        for b in 0..8 {
+            dev.write_block(b, &pat(b)).unwrap();
+        }
+        dev.advance_time(pcm_core::params::TEN_YEARS_SECS);
+        for b in 0..8 {
+            assert_eq!(dev.read_block(b).unwrap().data, pat(b), "block {b}");
+        }
+        // Refresh through the generic path works too.
+        dev.refresh_block(3).unwrap();
+        assert_eq!(dev.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn wear_statistics_accumulate() {
+        let mut dev = three_level_device(4);
+        let data = vec![1u8; 64];
+        for _ in 0..10 {
+            dev.write_block(0, &data).unwrap();
+        }
+        let s = dev.stats();
+        assert_eq!(s.writes, 10);
+        // 364 cells per write, ~1.006 attempts each.
+        assert!(s.write_attempts >= 3640, "{}", s.write_attempts);
+    }
+}

@@ -1,0 +1,44 @@
+//! # pcm-device — a functional MLC-PCM device simulator
+//!
+//! Integrates every substrate of the SC'13 reproduction into a device you
+//! can write bytes to, age, wear out, scrub, and read back:
+//!
+//! * [`array`](mod@array) — physical cells with real analog state (program-and-verify
+//!   outcome, per-cell drift exponents, wear, stuck-at faults).
+//! * [`block`] — the two complete 64-byte block datapaths: the proposed
+//!   3LC stack (3-ON-2 + mark-and-spare + BCH-1, Figure 9) and the 4LC
+//!   baseline (Gray + smart + BCH-10 + ECP-6).
+//! * [`device`] — banks of blocks with a global drift clock and stats.
+//! * [`refresh`] — the scrub controller that makes 4LC usable as volatile
+//!   memory (§4.1) — and that the 3LC design gets to switch off.
+//!
+//! ```
+//! use pcm_device::{CellOrganization, PcmDevice};
+//! use pcm_core::level::LevelDesign;
+//!
+//! let mut dev = PcmDevice::new(
+//!     CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
+//!     16, 4, 42,
+//! );
+//! dev.write_block(0, &[0xA5; 64]).unwrap();
+//! dev.advance_time(10.0 * 365.25 * 86_400.0);   // ten years, no power
+//! assert_eq!(dev.read_block(0).unwrap().data, vec![0xA5; 64]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod block;
+pub mod device;
+pub mod generic_block;
+pub mod refresh;
+pub mod remap;
+pub mod wear_level;
+
+pub use array::{CellArray, ProgramOutcome};
+pub use block::{BlockError, FourLevelBlock, ReadReport, ThreeLevelBlock, WriteReport};
+pub use device::{CellOrganization, DeviceStats, PcmDevice};
+pub use generic_block::GenericBlock;
+pub use refresh::{RefreshController, RefreshReport};
+pub use remap::RemappedDevice;
+pub use wear_level::{GapMove, StartGap, WearLeveledDevice};

@@ -1,0 +1,244 @@
+//! A compact, fixed-length bit vector backed by `u64` words.
+//!
+//! Codewords, messages, and parity blocks throughout the ECC and codec
+//! layers are bit strings whose lengths (512, 708, 100, …) are not byte
+//! multiples, so a dedicated type beats `Vec<bool>` (8× memory, no word-wise
+//! XOR) and `Vec<u8>` (awkward tail handling).
+
+/// Fixed-length bit vector. Bit `0` is the least significant bit of word 0.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// All-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Build from a bool slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Build from bytes, LSB-first within each byte, taking exactly `len`
+    /// bits (`len <= bytes.len() * 8`).
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(len <= bytes.len() * 8, "len {len} > {} bits", bytes.len() * 8);
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            if bytes[i / 8] >> (i % 8) & 1 == 1 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Serialize to bytes, LSB-first within each byte; the final partial
+    /// byte is zero-padded.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Write bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flip bit `i` and return its new value.
+    pub fn toggle(&mut self, i: usize) -> bool {
+        let v = !self.get(i);
+        self.set(i, v);
+        v
+    }
+
+    /// Word-wise XOR with another vector of the same length.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch in xor");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi * 64;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Hamming distance to another vector of the same length.
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Copy `bits` from `other[src..src+bits]` into `self[dst..dst+bits]`.
+    pub fn copy_range(&mut self, dst: usize, other: &BitVec, src: usize, bits: usize) {
+        assert!(dst + bits <= self.len && src + bits <= other.len);
+        for i in 0..bits {
+            self.set(dst + i, other.get(src + i));
+        }
+    }
+
+    /// Concatenate two bit vectors.
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.len + other.len);
+        out.copy_range(0, self, 0, self.len);
+        out.copy_range(self.len, other, 0, other.len);
+        out
+    }
+
+    /// A slice `[start, start+len)` as a new vector.
+    pub fn slice(&self, start: usize, len: usize) -> BitVec {
+        let mut out = BitVec::zeros(len);
+        out.copy_range(0, self, start, len);
+        out
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        for i in (0..130).step_by(7) {
+            v.set(i, true);
+        }
+        for i in 0..130 {
+            assert_eq!(v.get(i), i % 7 == 0);
+        }
+        assert_eq!(v.count_ones(), 19);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let bytes: Vec<u8> = (0..64).map(|i| (i * 37 + 11) as u8).collect();
+        let v = BitVec::from_bytes(&bytes, 512);
+        assert_eq!(v.to_bytes(), bytes);
+        // Partial length: 13 bits of the first two bytes.
+        let v13 = BitVec::from_bytes(&bytes, 13);
+        assert_eq!(v13.len(), 13);
+        for i in 0..13 {
+            assert_eq!(v13.get(i), bytes[i / 8] >> (i % 8) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn ones_iterator_ascending() {
+        let mut v = BitVec::zeros(200);
+        let idx = [0usize, 63, 64, 65, 127, 128, 199];
+        for &i in &idx {
+            v.set(i, true);
+        }
+        assert_eq!(v.ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn xor_and_distance() {
+        let mut a = BitVec::zeros(100);
+        let mut b = BitVec::zeros(100);
+        a.set(3, true);
+        a.set(70, true);
+        b.set(70, true);
+        b.set(99, true);
+        assert_eq!(a.hamming_distance(&b), 2);
+        a.xor_assign(&b);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![3, 99]);
+    }
+
+    #[test]
+    fn concat_and_slice_invert() {
+        let a = BitVec::from_bools(&[true, false, true, true]);
+        let b = BitVec::from_bools(&[false, false, true]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.slice(0, 4), a);
+        assert_eq!(c.slice(4, 3), b);
+    }
+
+    #[test]
+    fn toggle_flips() {
+        let mut v = BitVec::zeros(10);
+        assert!(v.toggle(5));
+        assert!(!v.toggle(5));
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let v = BitVec::zeros(8);
+        v.get(8);
+    }
+}

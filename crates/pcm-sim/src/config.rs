@@ -1,0 +1,206 @@
+//! Simulation parameters (Table 5) and the four §7 design points.
+
+/// Table 5's system parameters, with the write-throughput constraint
+/// expressed as the paper's four-write-window: at most four 64B writes
+/// (including refreshes) per 6.4 µs, i.e. 40 MB/s sustained.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimParams {
+    /// Core clock (paper: 3.2 GHz out-of-order core).
+    pub cpu_freq_ghz: f64,
+    /// PCM array read latency, ns (paper: 200 ns).
+    pub read_latency_ns: f64,
+    /// PCM block write latency, ns (paper: 1 µs).
+    pub write_latency_ns: f64,
+    /// Four-write-window length, ns (paper: 6.4 µs).
+    pub write_window_ns: f64,
+    /// Writes permitted per window (paper: 4 → 40 MB/s of 64B blocks).
+    pub writes_per_window: u32,
+    /// Independent banks (paper: 8).
+    pub banks: usize,
+    /// Blocks in the simulated device. The refresh *op rate* — the
+    /// quantity that contends with demand traffic — is `blocks /
+    /// refresh_interval`, which the default scaled geometry keeps equal
+    /// to the paper's 16 GiB @ 17 min (see DESIGN.md §3).
+    pub blocks: u64,
+    /// Refresh interval, seconds.
+    pub refresh_interval_s: f64,
+    /// Bank-busy time per block refresh, ns (paper: 1 µs).
+    pub block_refresh_ns: f64,
+    /// Posted-write queue depth before the core stalls.
+    pub write_queue_depth: usize,
+    /// Outstanding-read window (memory-level parallelism) before the
+    /// core stalls on the oldest read.
+    pub max_outstanding_reads: usize,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        // Scaled device: 16 MiB instead of 16 GiB, interval scaled by the
+        // same 1/1024 so the refresh op rate (blocks/interval ≈ 2.63e5/s)
+        // matches the paper's 16 GiB @ 17 min exactly.
+        Self {
+            cpu_freq_ghz: 3.2,
+            read_latency_ns: 200.0,
+            write_latency_ns: 1000.0,
+            write_window_ns: 6400.0,
+            writes_per_window: 4,
+            banks: 8,
+            blocks: (16 << 20) / 64,
+            // 17 min (1024 s) divided by the same 1/1024 capacity scale.
+            refresh_interval_s: 1.0,
+            block_refresh_ns: 1000.0,
+            write_queue_depth: 32,
+            max_outstanding_reads: 8,
+        }
+    }
+}
+
+impl SimParams {
+    /// Refresh operations per second across the device.
+    pub fn refresh_ops_per_sec(&self) -> f64 {
+        self.blocks as f64 / self.refresh_interval_s
+    }
+
+    /// Sustained write bandwidth implied by the window, bytes/second.
+    pub fn write_bandwidth_bytes_per_sec(&self) -> f64 {
+        64.0 * self.writes_per_window as f64 / (self.write_window_ns * 1e-9)
+    }
+
+    /// Fraction of the device's write-token bandwidth consumed by refresh.
+    pub fn refresh_write_share(&self) -> f64 {
+        let tokens_per_sec =
+            self.writes_per_window as f64 / (self.write_window_ns * 1e-9);
+        self.refresh_ops_per_sec() / tokens_per_sec
+    }
+}
+
+/// The four design points of Figure 16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignPoint {
+    /// 4LCo with per-bank periodic refresh (banks block for 1 µs/refresh
+    /// and refresh consumes write bandwidth).
+    FourLcRef,
+    /// 4LCo with an ideal refresh scheduler: no read/bank contention, but
+    /// refresh still consumes write bandwidth (§7).
+    FourLcRefOpt,
+    /// 4LCo with refresh impossibly turned off (upper bound).
+    FourLcNoRef,
+    /// The proposed 3LC: no refresh, 5 ns read-path adder instead of
+    /// BCH-10's 36.25 ns.
+    ThreeLc,
+}
+
+impl DesignPoint {
+    /// All four, in Figure 16's bar order.
+    pub const ALL: [DesignPoint; 4] = [
+        DesignPoint::FourLcRef,
+        DesignPoint::FourLcRefOpt,
+        DesignPoint::FourLcNoRef,
+        DesignPoint::ThreeLc,
+    ];
+
+    /// Display name as in Figure 16.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignPoint::FourLcRef => "4LC-REF",
+            DesignPoint::FourLcRefOpt => "4LC-REF-OPT",
+            DesignPoint::FourLcNoRef => "4LC-NO-REF",
+            DesignPoint::ThreeLc => "3LC",
+        }
+    }
+
+    /// ECC adder on the read path, ns (§7: 36.25 ns BCH-10 vs 5 ns 3LC).
+    pub fn ecc_read_adder_ns(self) -> f64 {
+        match self {
+            DesignPoint::ThreeLc => 5.0,
+            _ => 36.25,
+        }
+    }
+
+    /// Does this design refresh at all?
+    pub fn refreshes(self) -> bool {
+        matches!(self, DesignPoint::FourLcRef | DesignPoint::FourLcRefOpt)
+    }
+
+    /// Do refreshes block the bank (false for the OPT idealization)?
+    pub fn refresh_blocks_bank(self) -> bool {
+        matches!(self, DesignPoint::FourLcRef)
+    }
+}
+
+/// Per-operation energies for the energy/power accounting. Absolute
+/// values are representative of published PCM prototypes (reads ~2 nJ,
+/// iterative MLC writes ~16 nJ per 64B block, background power a few mW
+/// for the array periphery at this capacity); Figure 16 reports
+/// everything *normalized to 4LC-REF*, so only the ratios matter — they
+/// put demand writes, refresh, and background in the same league, as the
+/// paper's stacked bars do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per 64B array read, nJ.
+    pub read_nj: f64,
+    /// Energy per 64B block write, nJ (iterative MLC writes are costly).
+    pub write_nj: f64,
+    /// Energy per block refresh (a read + a write), nJ.
+    pub refresh_nj: f64,
+    /// Background (periphery + logic die) power, W.
+    pub static_w: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            read_nj: 2.0,
+            write_nj: 16.0,
+            refresh_nj: 18.0,
+            static_w: 0.005,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_table5() {
+        let p = SimParams::default();
+        assert_eq!(p.cpu_freq_ghz, 3.2);
+        assert_eq!(p.read_latency_ns, 200.0);
+        assert_eq!(p.write_latency_ns, 1000.0);
+        assert_eq!(p.banks, 8);
+        // 40 MB/s from the four-write-window.
+        assert!((p.write_bandwidth_bytes_per_sec() - 40e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaled_refresh_rate_matches_paper_geometry() {
+        let p = SimParams::default();
+        // Paper: 2.68e8 blocks / 1024 s ≈ 2.62e5 refreshes per second.
+        let paper_rate = 268_435_456.0 / 1024.0;
+        let scaled_rate = p.refresh_ops_per_sec();
+        assert!(
+            (scaled_rate - paper_rate).abs() / paper_rate < 1e-12,
+            "scaled {scaled_rate} vs paper {paper_rate}"
+        );
+    }
+
+    #[test]
+    fn refresh_consumes_42_percent_of_write_bandwidth() {
+        // The §4.1 arithmetic: one refresh pass takes 410 s of the 1024 s
+        // interval → ~42% of write tokens go to refresh.
+        let p = SimParams::default();
+        let share = p.refresh_write_share();
+        assert!((0.40..0.44).contains(&share), "{share}");
+    }
+
+    #[test]
+    fn design_point_properties() {
+        assert!(DesignPoint::FourLcRef.refresh_blocks_bank());
+        assert!(!DesignPoint::FourLcRefOpt.refresh_blocks_bank());
+        assert!(DesignPoint::FourLcRefOpt.refreshes());
+        assert!(!DesignPoint::ThreeLc.refreshes());
+        assert!(DesignPoint::ThreeLc.ecc_read_adder_ns() < 6.0);
+        assert_eq!(DesignPoint::FourLcRef.name(), "4LC-REF");
+    }
+}

@@ -1,0 +1,162 @@
+//! Figure 16 assembly: run the 6-workload × 4-design matrix and
+//! normalize execution time, energy, and power to 4LC-REF.
+
+use crate::config::{DesignPoint, EnergyModel, SimParams};
+use crate::engine::{simulate, SimResult};
+use crate::workload::WorkloadProfile;
+
+/// One normalized Figure 16 bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure16Bar {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Design point.
+    pub design: DesignPoint,
+    /// Execution time / 4LC-REF's.
+    pub norm_exec_time: f64,
+    /// Total energy / 4LC-REF's.
+    pub norm_energy: f64,
+    /// Average power / 4LC-REF's.
+    pub norm_power: f64,
+    /// Energy breakdown (read, write, refresh, static) normalized to
+    /// 4LC-REF's total — the stacked-bar decomposition of Figure 16.
+    pub energy_breakdown: [f64; 4],
+    /// The raw simulation result behind the bar.
+    pub raw: SimResult,
+}
+
+/// Run the full Figure 16 matrix.
+pub fn figure16(
+    params: &SimParams,
+    energy: &EnergyModel,
+    instructions: u64,
+    seed: u64,
+) -> Vec<Figure16Bar> {
+    let mut bars = Vec::new();
+    for profile in WorkloadProfile::figure16_suite() {
+        let baseline = simulate(
+            params,
+            energy,
+            DesignPoint::FourLcRef,
+            profile,
+            instructions,
+            seed,
+        );
+        let base_energy = baseline.total_energy_nj();
+        let base_power = baseline.avg_power_w();
+        for design in DesignPoint::ALL {
+            let raw = simulate(params, energy, design, profile, instructions, seed);
+            bars.push(Figure16Bar {
+                workload: profile.name,
+                design,
+                norm_exec_time: raw.exec_time_ns / baseline.exec_time_ns,
+                norm_energy: raw.total_energy_nj() / base_energy,
+                norm_power: raw.avg_power_w() / base_power,
+                energy_breakdown: [
+                    raw.read_energy_nj / base_energy,
+                    raw.write_energy_nj / base_energy,
+                    raw.refresh_energy_nj / base_energy,
+                    raw.static_energy_nj / base_energy,
+                ],
+                raw,
+            });
+        }
+    }
+    bars
+}
+
+/// Geometric-mean summary across the memory-intensive workloads (the
+/// paper's headline "33% higher performance and 24% lower energy").
+pub fn summary_gains(bars: &[Figure16Bar]) -> (f64, f64) {
+    let three: Vec<&Figure16Bar> = bars
+        .iter()
+        .filter(|b| b.design == DesignPoint::ThreeLc && b.workload != "namd")
+        .collect();
+    assert!(!three.is_empty());
+    let gm = |f: &dyn Fn(&Figure16Bar) -> f64| -> f64 {
+        (three.iter().map(|b| f(b).ln()).sum::<f64>() / three.len() as f64).exp()
+    };
+    let perf_gain = 1.0 / gm(&|b| b.norm_exec_time) - 1.0;
+    let energy_saving = 1.0 - gm(&|b| b.norm_energy);
+    (perf_gain, energy_saving)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> Vec<Figure16Bar> {
+        figure16(
+            &SimParams::default(),
+            &EnergyModel::default(),
+            1_000_000,
+            7,
+        )
+    }
+
+    #[test]
+    fn baseline_bars_are_unity() {
+        for b in matrix() {
+            if b.design == DesignPoint::FourLcRef {
+                assert!((b.norm_exec_time - 1.0).abs() < 1e-12);
+                assert!((b.norm_energy - 1.0).abs() < 1e-12);
+                assert!((b.norm_power - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_complete() {
+        let bars = matrix();
+        assert_eq!(bars.len(), 24, "6 workloads × 4 designs");
+    }
+
+    #[test]
+    fn figure16_shape() {
+        // 3LC beats 4LC-REF on time and energy for every memory-intensive
+        // workload; namd is flat.
+        for b in matrix() {
+            if b.design != DesignPoint::ThreeLc {
+                continue;
+            }
+            if b.workload == "namd" {
+                assert!((b.norm_exec_time - 1.0).abs() < 0.02, "namd {b:?}");
+            } else {
+                assert!(b.norm_exec_time < 0.9, "{}: {}", b.workload, b.norm_exec_time);
+                assert!(b.norm_energy < 0.95, "{}: {}", b.workload, b.norm_energy);
+            }
+        }
+    }
+
+    #[test]
+    fn headline_gains_in_paper_ballpark() {
+        // Paper: 33% higher performance, 24% lower energy (3LC vs
+        // 4LC-REF). With synthetic traces in place of the authors' McSim
+        // runs the averages land in the same region but not on the same
+        // point (fully write-bound workloads pay the whole 1.72× refresh
+        // bandwidth tax here) — see EXPERIMENTS.md. Accept 20–75% perf
+        // and 10–55% energy.
+        let (perf, energy) = summary_gains(&matrix());
+        assert!((0.20..0.75).contains(&perf), "perf gain {perf}");
+        assert!((0.10..0.55).contains(&energy), "energy saving {energy}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        for b in matrix() {
+            let sum: f64 = b.energy_breakdown.iter().sum();
+            assert!((sum - b.norm_energy).abs() < 1e-9, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn refresh_breakdown_vanishes_without_refresh() {
+        for b in matrix() {
+            if !b.design.refreshes() {
+                assert_eq!(b.energy_breakdown[2], 0.0);
+            } else if b.workload != "namd" {
+                assert!(b.energy_breakdown[2] > 0.0);
+            }
+        }
+    }
+}

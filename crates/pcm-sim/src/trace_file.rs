@@ -1,0 +1,206 @@
+//! External trace input: run the simulator on *real* memory traces
+//! instead of the synthetic profiles.
+//!
+//! The format is one access per line, deliberately trivial to produce
+//! from Pin/DynamoRIO/perf scripts or from McSim-style simulators:
+//!
+//! ```text
+//! # comment lines and blanks are skipped
+//! <instruction-count> <R|W> <address-or-block>
+//! 1000 R 0x7f001040
+//! 1012 W 0x7f001080
+//! ```
+//!
+//! Addresses are mapped to 64-byte blocks (`addr / 64 % device_blocks`);
+//! values without `0x` are parsed as decimal. Instruction counts must be
+//! non-decreasing (equal counts are nudged forward by one, matching the
+//! generator's strictly-increasing invariant).
+
+use crate::workload::MemOp;
+
+/// A parsed trace, replayable as an iterator of [`MemOp`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileTrace {
+    ops: Vec<MemOp>,
+}
+
+/// Parse failure, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// Line number of the offending record.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl FileTrace {
+    /// Parse trace text (see module docs for the format), mapping
+    /// addresses onto `device_blocks` 64-byte blocks.
+    pub fn parse(text: &str, device_blocks: u64) -> Result<FileTrace, TraceParseError> {
+        assert!(device_blocks >= 1);
+        let mut ops = Vec::new();
+        let mut last_raw = 0u64;
+        let mut last_emitted = 0u64;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_whitespace();
+            let err = |message: String| TraceParseError { line, message };
+            let instr: u64 = fields
+                .next()
+                .ok_or_else(|| err("missing instruction count".into()))?
+                .parse()
+                .map_err(|e| err(format!("bad instruction count: {e}")))?;
+            let kind = fields
+                .next()
+                .ok_or_else(|| err("missing R/W field".into()))?;
+            let is_write = match kind {
+                "R" | "r" => false,
+                "W" | "w" => true,
+                other => return Err(err(format!("expected R or W, got '{other}'"))),
+            };
+            let addr_str = fields
+                .next()
+                .ok_or_else(|| err("missing address".into()))?;
+            let addr = parse_u64(addr_str)
+                .ok_or_else(|| err(format!("bad address '{addr_str}'")))?;
+            if let Some(extra) = fields.next() {
+                return Err(err(format!("unexpected trailing field '{extra}'")));
+            }
+            if instr < last_raw {
+                return Err(err(format!(
+                    "instruction count went backwards ({instr} after {last_raw})"
+                )));
+            }
+            last_raw = instr;
+            // Enforce strict monotonicity (duplicate counts nudge ahead).
+            let at_instruction = if ops.is_empty() {
+                instr.max(1)
+            } else {
+                instr.max(last_emitted + 1)
+            };
+            last_emitted = at_instruction;
+            ops.push(MemOp {
+                at_instruction,
+                is_write,
+                block: (addr / 64) % device_blocks,
+            });
+        }
+        Ok(FileTrace { ops })
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations were parsed.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations, in order.
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// Iterate the trace (cloned ops).
+    pub fn iter(&self) -> impl Iterator<Item = MemOp> + '_ {
+        self.ops.iter().copied()
+    }
+
+    /// Observed memory intensity in accesses per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        match self.ops.last() {
+            Some(last) if last.at_instruction > 0 => {
+                self.ops.len() as f64 * 1000.0 / last.at_instruction as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Observed write fraction.
+    pub fn write_fraction(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        self.ops.iter().filter(|o| o.is_write).count() as f64 / self.ops.len() as f64
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_format() {
+        let text = "\
+# a comment
+1000 R 0x7f001040
+
+1012 W 0x7f001080
+2000 r 128
+";
+        let t = FileTrace::parse(text, 1024).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(!t.ops()[0].is_write);
+        assert!(t.ops()[1].is_write);
+        assert_eq!(t.ops()[2].block, 2); // 128 / 64
+        assert_eq!(t.ops()[0].block, (0x7f001040u64 / 64) % 1024);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_position() {
+        for (text, expect_line) in [
+            ("1000 X 64", 1),
+            ("fine\n", 1),
+            ("1000 R 64\n900 W 64", 2),
+            ("1000 R 64 extra", 1),
+        ] {
+            let e = FileTrace::parse(text, 16).unwrap_err();
+            assert_eq!(e.line, expect_line, "{text:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn duplicate_instruction_counts_are_nudged() {
+        let t = FileTrace::parse("5 R 0\n5 R 64\n5 W 128\n", 16).unwrap();
+        let at: Vec<u64> = t.ops().iter().map(|o| o.at_instruction).collect();
+        assert_eq!(at, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn statistics() {
+        let t = FileTrace::parse("500 R 0\n1000 W 64\n", 16).unwrap();
+        assert!((t.mpki() - 2.0).abs() < 1e-12);
+        assert!((t.write_fraction() - 0.5).abs() < 1e-12);
+        let empty = FileTrace::parse("# nothing\n", 16).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.mpki(), 0.0);
+    }
+
+    #[test]
+    fn addresses_wrap_to_device() {
+        let t = FileTrace::parse("1 R 0xFFFFFFFF0\n", 8).unwrap();
+        assert!(t.ops()[0].block < 8);
+    }
+}

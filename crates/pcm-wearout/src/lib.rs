@@ -1,0 +1,41 @@
+//! # pcm-wearout — wearout-failure tolerance for MLC-PCM
+//!
+//! Hard-error substrate of the SC'13 MLC-PCM reproduction:
+//!
+//! * [`fault`] — endurance (lognormal lifetime, 10⁵ cycles MLC) and
+//!   stuck-at failure modes, including reverse-current revival (§6.4).
+//! * [`mark_spare`] — the paper's mark-and-spare mechanism: failed 3-ON-2
+//!   pairs are marked INV and skipped, spares absorb the overflow; two
+//!   cells per tolerated failure (Figures 10–12).
+//! * [`ecp`] — Error-Correcting Pointers adapted to MLC, the 4LC
+//!   baseline's wearout mechanism (Figure 14): five cells per failure.
+//! * [`or_chain`] — gate-level ripple / Sklansky / Kogge–Stone prefix-OR
+//!   networks driving the mark-and-spare MUX cascade (Figure 13).
+//! * [`capacity`] — cell budgets and densities: Tables 3 and 4,
+//!   Figure 15.
+//!
+//! ```
+//! use pcm_wearout::mark_spare::MarkSpareCodec;
+//! use pcm_ecc::bitvec::BitVec;
+//!
+//! let codec = MarkSpareCodec::default(); // 171 data + 6 spare pairs
+//! let block = BitVec::from_bytes(&[0x5A; 64], 512);
+//! // Two known wearout failures → their pairs are marked INV.
+//! let cells = codec.encode_block(&block, &[17, 130]).unwrap();
+//! assert_eq!(codec.decode_block(&cells, 512).unwrap(), block);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod ecp;
+pub mod fault;
+pub mod lifetime;
+pub mod mark_spare;
+pub mod or_chain;
+
+pub use capacity::{four_level_budget, permutation_budget, three_on_two_budget, BlockBudget};
+pub use ecp::{EcpError, EcpMlc};
+pub use fault::{EnduranceModel, FaultKind, WearState};
+pub use mark_spare::{MarkSpareCodec, MarkSpareError};
+pub use or_chain::PrefixOrNetwork;

@@ -1,0 +1,209 @@
+//! Device-lifetime analysis under wearout (§6.4's motivation, the
+//! quantitative backdrop of Figure 15).
+//!
+//! A block dies when more cells wear out than its tolerance mechanism
+//! covers (mark-and-spare: 6 pairs; ECP: 6 entries); a device reaches end
+//! of life when its remap reserve is exhausted. With lognormal per-cell
+//! endurance, a block's lifetime is an order statistic of its cells'
+//! lifetimes; this module computes it both analytically (binomial tail on
+//! the per-cell wear CDF) and by Monte Carlo, and scales to device
+//! lifetime under uniform (wear-leveled) write traffic.
+
+use crate::fault::EnduranceModel;
+use pcm_core::math::special::{binomial_sf, normal_cdf};
+use pcm_core::rng::Xoshiro256pp;
+
+/// Probability a single cell is worn out after `cycles` writes under the
+/// lognormal endurance model.
+pub fn p_cell_worn(model: &EnduranceModel, cycles: f64) -> f64 {
+    if cycles <= 0.0 {
+        return 0.0;
+    }
+    let z = (cycles.log10() - model.median_cycles.log10()) / model.sigma_log10;
+    normal_cdf(z)
+}
+
+/// Probability a block of `cells` cells has more than `tolerated` worn
+/// cells after `cycles` uniform writes (cells wear independently).
+///
+/// This treats each worn cell as consuming one unit of tolerance, which
+/// is exact for ECP (one entry per cell) and conservative for
+/// mark-and-spare (two worn cells in the *same* pair consume one spare
+/// pair, not two).
+pub fn p_block_dead(model: &EnduranceModel, cells: u64, tolerated: u64, cycles: f64) -> f64 {
+    binomial_sf(cells, tolerated, p_cell_worn(model, cycles))
+}
+
+/// Write cycles at which a block's death probability first reaches
+/// `target` (bisection; monotone in cycles).
+pub fn block_lifetime_cycles(
+    model: &EnduranceModel,
+    cells: u64,
+    tolerated: u64,
+    target: f64,
+) -> f64 {
+    assert!(target > 0.0 && target < 1.0);
+    let (mut lo, mut hi) = (1.0f64, model.median_cycles * 1e4);
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt();
+        if p_block_dead(model, cells, tolerated, mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+/// Device lifetime: cycles per block at which, across `blocks` blocks
+/// with `reserve` spare blocks, the expected number of dead blocks first
+/// exceeds the reserve. Uniform wear (perfect leveling) assumed.
+pub fn device_lifetime_cycles(
+    model: &EnduranceModel,
+    blocks: u64,
+    cells_per_block: u64,
+    tolerated: u64,
+    reserve: u64,
+) -> f64 {
+    let target = (reserve as f64 + 1.0) / blocks as f64;
+    block_lifetime_cycles(model, cells_per_block, tolerated, target.min(0.999))
+}
+
+/// Monte-Carlo block lifetime: simulate `samples` blocks and return the
+/// empirical death-probability at `cycles`. For mark-and-spare pass
+/// `pairs = true` to group cells into pairs (two worn cells in a pair
+/// cost one spare).
+pub fn mc_p_block_dead(
+    model: &EnduranceModel,
+    cells: u64,
+    tolerated: u64,
+    cycles: f64,
+    pairs: bool,
+    samples: u64,
+    seed: u64,
+) -> f64 {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut dead = 0u64;
+    for _ in 0..samples {
+        let mut failures = 0u64;
+        if pairs {
+            let mut i = 0;
+            while i < cells {
+                let a = (model.sample_lifetime(&mut rng) as f64) <= cycles;
+                let b = i + 1 < cells && (model.sample_lifetime(&mut rng) as f64) <= cycles;
+                if a || b {
+                    failures += 1; // one spare pair per afflicted pair
+                }
+                i += 2;
+            }
+        } else {
+            for _ in 0..cells {
+                if (model.sample_lifetime(&mut rng) as f64) <= cycles {
+                    failures += 1;
+                }
+            }
+        }
+        if failures > tolerated {
+            dead += 1;
+        }
+    }
+    dead as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_wear_cdf_anchors() {
+        let m = EnduranceModel::mlc();
+        assert_eq!(p_cell_worn(&m, 0.0), 0.0);
+        // Median: half the cells dead at 1e5 cycles.
+        assert!((p_cell_worn(&m, 1e5) - 0.5).abs() < 1e-12);
+        // One sigma (a factor of 10^0.25 ≈ 1.78) below the median.
+        let one_sigma = 10f64.powf(5.0 - 0.25);
+        assert!((p_cell_worn(&m, one_sigma) - 0.1587).abs() < 1e-3);
+        // Early life: essentially nothing dead at 1k cycles.
+        assert!(p_cell_worn(&m, 1e3) < 1e-13);
+    }
+
+    #[test]
+    fn block_death_monotone_and_bracketed() {
+        let m = EnduranceModel::mlc();
+        let mut last = 0.0;
+        for cycles in [1e3, 1e4, 3e4, 1e5, 3e5] {
+            let p = p_block_dead(&m, 354, 6, cycles);
+            assert!(p >= last);
+            last = p;
+        }
+        assert!(p_block_dead(&m, 354, 6, 1e3) < 1e-12);
+        assert!(p_block_dead(&m, 354, 6, 1e6) > 0.999);
+    }
+
+    #[test]
+    fn tolerance_extends_block_lifetime() {
+        // The Figure 15 trade in lifetime terms: each extra tolerated
+        // failure buys block lifetime, with diminishing returns.
+        let m = EnduranceModel::mlc();
+        let l0 = block_lifetime_cycles(&m, 354, 0, 1e-4);
+        let l6 = block_lifetime_cycles(&m, 354, 6, 1e-4);
+        let l12 = block_lifetime_cycles(&m, 354, 12, 1e-4);
+        assert!(l6 > 1.3 * l0, "6 spares: {l0} -> {l6}");
+        assert!(l12 > l6);
+        let gain_a = l6 / l0;
+        let gain_b = l12 / l6;
+        assert!(gain_b < gain_a, "diminishing returns: {gain_a} then {gain_b}");
+    }
+
+    #[test]
+    fn bisection_inverts_the_cdf() {
+        let m = EnduranceModel::mlc();
+        for target in [1e-6, 1e-3, 0.5] {
+            let cycles = block_lifetime_cycles(&m, 354, 6, target);
+            let p = p_block_dead(&m, 354, 6, cycles);
+            assert!(
+                (p - target).abs() / target < 0.01,
+                "target {target}: inverted to {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_lifetime_scales_with_reserve() {
+        let m = EnduranceModel::mlc();
+        let no_reserve = device_lifetime_cycles(&m, 1 << 20, 354, 6, 0);
+        let with_reserve = device_lifetime_cycles(&m, 1 << 20, 354, 6, 1 << 10);
+        assert!(with_reserve > 1.2 * no_reserve);
+        // A million-block device at one-bad-block tolerance still gets a
+        // useful fraction of the median cell endurance.
+        assert!(no_reserve > 1e4, "{no_reserve}");
+        assert!(no_reserve < 1e5);
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo_ecp_mode() {
+        let m = EnduranceModel::mlc();
+        let cycles = 3.2e4;
+        let analytic = p_block_dead(&m, 306, 6, cycles);
+        let mc = mc_p_block_dead(&m, 306, 6, cycles, false, 20_000, 9);
+        assert!(
+            (analytic - mc).abs() < 0.02 + 0.3 * analytic,
+            "analytic {analytic} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn pair_grouping_is_less_conservative() {
+        // Mark-and-spare's pair accounting: two worn cells can share one
+        // spare pair, so the pairwise MC death rate is at most the
+        // independent-cell (analytic) rate.
+        let m = EnduranceModel::mlc();
+        let cycles = 4.5e4;
+        let independent = mc_p_block_dead(&m, 354, 6, cycles, false, 20_000, 4);
+        let paired = mc_p_block_dead(&m, 354, 6, cycles, true, 20_000, 4);
+        assert!(
+            paired <= independent + 0.01,
+            "paired {paired} vs independent {independent}"
+        );
+    }
+}

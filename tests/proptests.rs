@@ -1,0 +1,279 @@
+//! Property-based tests (proptest) over the cross-crate invariants:
+//! codec round-trips, ECC correction guarantees, wearout-tolerance
+//! closure, drift-model laws, and device read-after-write identity.
+
+use mlc_pcm::codec::{enumerative::EnumerativeCode, gray, permutation, three_on_two};
+use mlc_pcm::core::drift::DriftTrajectory;
+use mlc_pcm::core::level::LevelDesign;
+use mlc_pcm::core::math::special as sf;
+use mlc_pcm::ecc::{bch::Bch, bitvec::BitVec, Hamming, HammingOutcome};
+use mlc_pcm::wearout::mark_spare::MarkSpareCodec;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn bitvec_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    vec(any::<bool>(), len).prop_map(|bools| BitVec::from_bools(&bools))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------------- codecs ----------------
+
+    #[test]
+    fn three_on_two_roundtrip(data in bitvec_strategy(512)) {
+        let trits = three_on_two::encode_block(&data);
+        prop_assert_eq!(trits.len(), 342);
+        let (decoded, inv) = three_on_two::decode_block(&trits, 512);
+        prop_assert_eq!(decoded, data);
+        prop_assert!(inv.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn gray_roundtrip_and_single_bit_property(data in bitvec_strategy(512), cell in 0usize..256) {
+        let mut states = gray::encode_block(&data);
+        prop_assert_eq!(gray::decode_block(&states, 512), data.clone());
+        // A one-step drift error flips exactly one decoded bit.
+        if states[cell] < 3 {
+            states[cell] += 1;
+            let corrupted = gray::decode_block(&states, 512);
+            prop_assert_eq!(corrupted.hamming_distance(&data), 1);
+        }
+    }
+
+    #[test]
+    fn smart_encode_is_invertible(states in vec(0usize..4, 256)) {
+        let mut transformed = states.clone();
+        let tag = mlc_pcm::codec::smart::encode_block(&mut transformed);
+        mlc_pcm::codec::smart::decode_block(&mut transformed, tag);
+        prop_assert_eq!(transformed, states);
+    }
+
+    #[test]
+    fn permutation_rank_unrank(v in 0u16..2048) {
+        let perm = permutation::encode(v);
+        prop_assert_eq!(permutation::rank(&perm), Ok(v));
+        // Analog decode of exact levels agrees.
+        let levels: Vec<f64> = perm.iter().map(|&r| 3.0 + 0.45 * r as f64).collect();
+        let arr: [f64; 7] = levels.try_into().unwrap();
+        prop_assert_eq!(permutation::decode_analog(&arr), Ok(v));
+    }
+
+    #[test]
+    fn enumerative_roundtrip(base in 3u8..=6, data in bitvec_strategy(128)) {
+        let code = EnumerativeCode::new(base, 4);
+        let symbols = code.encode_block(&data);
+        prop_assert_eq!(code.decode_block(&symbols, 128), Some(data));
+    }
+
+    // ---------------- ECC ----------------
+
+    #[test]
+    fn bch_corrects_any_pattern_up_to_t(
+        data in bitvec_strategy(512),
+        flips in proptest::collection::btree_set(0usize..612, 0..=5),
+    ) {
+        let bch = Bch::new(10, 5);
+        let parity = bch.encode(&data);
+        let pb = bch.parity_bits(); // 50 for t = 5
+        let mut d = data.clone();
+        let mut p = parity.clone();
+        let flips: std::collections::BTreeSet<usize> =
+            flips.into_iter().map(|e| e % (pb + 512)).collect();
+        for &e in &flips {
+            if e < pb { p.toggle(e); } else { d.toggle(e - pb); }
+        }
+        let n = bch.decode(&mut d, &mut p).unwrap();
+        prop_assert_eq!(n, flips.len());
+        prop_assert_eq!(d, data);
+        prop_assert_eq!(p, parity);
+    }
+
+    #[test]
+    fn bch_never_silently_corrupts_with_double_t(
+        data in bitvec_strategy(256),
+        flips in proptest::collection::btree_set(0usize..276, 4..=4),
+    ) {
+        // t = 2 code facing 4 errors: either detected or corrected onto a
+        // *valid* codeword (classic miscorrection); re-encoding the
+        // decoder's output must then be self-consistent.
+        let bch = Bch::new(10, 2);
+        let parity = bch.encode(&data);
+        let mut d = data.clone();
+        let mut p = parity.clone();
+        for &e in &flips {
+            if e < 20 { p.toggle(e); } else { d.toggle(e - 20); }
+        }
+        if bch.decode(&mut d, &mut p).is_ok() {
+            prop_assert_eq!(bch.encode(&d), p, "decoder output must be a codeword");
+        }
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_error(
+        data in bitvec_strategy(708),
+        flip in 0usize..718,
+    ) {
+        let h = Hamming::new(708);
+        let checks = h.encode(&data);
+        let mut d = data.clone();
+        let mut c = checks.clone();
+        if flip < 708 { d.toggle(flip); } else { c.toggle(flip - 708); }
+        prop_assert_eq!(h.decode(&mut d, &mut c), HammingOutcome::Corrected);
+        prop_assert_eq!(d, data);
+    }
+
+    // ---------------- wearout ----------------
+
+    #[test]
+    fn mark_spare_tolerates_any_failure_placement(
+        values in vec(0u8..8, 171),
+        failed in proptest::collection::btree_set(0usize..177, 0..=6),
+    ) {
+        let codec = MarkSpareCodec::default();
+        let failed: Vec<usize> = failed.into_iter().collect();
+        let pairs = codec.encode_pairs(&values, &failed).unwrap();
+        prop_assert_eq!(codec.decode_pairs(&pairs).unwrap(), values.clone());
+        prop_assert_eq!(codec.decode_pairs_staged(&pairs).unwrap(), values);
+    }
+
+    #[test]
+    fn start_gap_translation_stays_bijective(
+        n in 2usize..40,
+        moves in 0usize..300,
+    ) {
+        use mlc_pcm::device::StartGap;
+        let mut sg = StartGap::new(n, 1);
+        for _ in 0..moves {
+            sg.note_write().expect("psi = 1 always moves");
+            sg.complete_move();
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for la in 0..n {
+            let pa = sg.translate(la);
+            prop_assert!(pa <= n);
+            prop_assert!(pa != sg.gap());
+            prop_assert!(seen.insert(pa), "collision at {pa}");
+        }
+    }
+
+    #[test]
+    fn trace_files_roundtrip_ops(
+        records in vec((1u64..1_000_000, any::<bool>(), 0u64..1u64 << 40), 0..50),
+    ) {
+        use mlc_pcm::sim::FileTrace;
+        let mut sorted = records;
+        sorted.sort_by_key(|r| r.0);
+        let text: String = sorted
+            .iter()
+            .map(|(i, w, a)| format!("{i} {} {a}\n", if *w { "W" } else { "R" }))
+            .collect();
+        let trace = FileTrace::parse(&text, 4096).unwrap();
+        prop_assert_eq!(trace.len(), sorted.len());
+        for (op, (_, w, a)) in trace.ops().iter().zip(&sorted) {
+            prop_assert_eq!(op.is_write, *w);
+            prop_assert_eq!(op.block, (a / 64) % 4096);
+        }
+        // Strictly increasing instruction counts.
+        for w in trace.ops().windows(2) {
+            prop_assert!(w[1].at_instruction > w[0].at_instruction);
+        }
+    }
+
+    #[test]
+    fn prefix_or_networks_agree(inputs in vec(any::<bool>(), 1..200)) {
+        use mlc_pcm::wearout::PrefixOrNetwork;
+        let n = inputs.len();
+        let r = PrefixOrNetwork::ripple(n).evaluate(&inputs);
+        let s = PrefixOrNetwork::sklansky(n).evaluate(&inputs);
+        let k = PrefixOrNetwork::kogge_stone(n).evaluate(&inputs);
+        prop_assert_eq!(&r, &s);
+        prop_assert_eq!(&r, &k);
+    }
+
+    // ---------------- drift model ----------------
+
+    #[test]
+    fn drift_is_monotone_for_nonnegative_alpha(
+        logr0 in 3.0f64..6.0,
+        alpha in 0.0f64..0.2,
+        t1 in 1.0f64..1e10,
+        factor in 1.0f64..1e5,
+    ) {
+        let tr = DriftTrajectory::simple(logr0, alpha);
+        prop_assert!(tr.logr_at(t1 * factor) >= tr.logr_at(t1) - 1e-12);
+    }
+
+    #[test]
+    fn drift_switch_only_accelerates(
+        logr0 in 3.5f64..4.45,
+        alpha1 in 0.001f64..0.05,
+        alpha2 in 0.06f64..0.2,
+        t in 1.0f64..1e12,
+    ) {
+        let plain = DriftTrajectory::simple(logr0, alpha1);
+        let switched = DriftTrajectory::with_switch(logr0, alpha1, 4.5, alpha2);
+        prop_assert!(switched.logr_at(t) >= plain.logr_at(t) - 1e-12);
+    }
+
+    #[test]
+    fn sense_is_order_preserving(
+        a in 2.5f64..6.5,
+        b in 2.5f64..6.5,
+    ) {
+        let d = LevelDesign::four_level_naive();
+        if a <= b {
+            prop_assert!(d.sense(a) <= d.sense(b));
+        } else {
+            prop_assert!(d.sense(a) >= d.sense(b));
+        }
+    }
+
+    // ---------------- numerics ----------------
+
+    #[test]
+    fn binomial_sf_bounds_and_monotonicity(
+        n in 1u64..600,
+        k in 0u64..20,
+        p in 0.0f64..1.0,
+    ) {
+        let s = sf::binomial_sf(n, k, p);
+        prop_assert!((0.0..=1.0).contains(&s));
+        if k + 1 < n {
+            prop_assert!(sf::binomial_sf(n, k + 1, p) <= s + 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_is_a_cdf(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(sf::normal_cdf(lo) <= sf::normal_cdf(hi) + 1e-15);
+        prop_assert!(sf::normal_cdf(lo) >= 0.0 && sf::normal_cdf(hi) <= 1.0);
+    }
+}
+
+proptest! {
+    // Device round-trips are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn device_read_after_write_identity(
+        payloads in vec(vec(any::<u8>(), 64), 4),
+        age_days in 0u32..3650,
+    ) {
+        use mlc_pcm::device::{CellOrganization, PcmDevice};
+        let mut dev = PcmDevice::new(
+            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
+            4,
+            4,
+            9,
+        );
+        for (b, p) in payloads.iter().enumerate() {
+            dev.write_block(b, p).unwrap();
+        }
+        dev.advance_time(age_days as f64 * 86_400.0);
+        for (b, p) in payloads.iter().enumerate() {
+            prop_assert_eq!(&dev.read_block(b).unwrap().data, p);
+        }
+    }
+}
