@@ -34,17 +34,13 @@ fn bench_decode(c: &mut Criterion) {
         for e in 0..errors {
             corrupted.toggle(e * 47 + 3);
         }
-        g.bench_with_input(
-            BenchmarkId::new("t_errors", t),
-            &t,
-            |b, _| {
-                b.iter(|| {
-                    let mut d = corrupted.clone();
-                    let mut p = parity.clone();
-                    std::hint::black_box(bch.decode(&mut d, &mut p).unwrap())
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("t_errors", t), &t, |b, _| {
+            b.iter(|| {
+                let mut d = corrupted.clone();
+                let mut p = parity.clone();
+                std::hint::black_box(bch.decode(&mut d, &mut p).unwrap())
+            })
+        });
         g.bench_with_input(BenchmarkId::new("clean", t), &t, |b, _| {
             b.iter(|| {
                 let mut d = msg.clone();

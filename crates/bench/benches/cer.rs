@@ -17,12 +17,16 @@ fn bench_monte_carlo(c: &mut Criterion) {
         let cells = 100_000u64;
         g.throughput(Throughput::Elements(cells * design.n_levels() as u64));
         let times = [1024.0, 32_768.0, 1.05e6];
-        g.bench_with_input(BenchmarkId::new("100k_cells_3_times", name), &design, |b, d| {
-            b.iter(|| {
-                let mc = MonteCarloCer::new(cells, 7).with_threads(4);
-                std::hint::black_box(mc.estimate(d, &times))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("100k_cells_3_times", name),
+            &design,
+            |b, d| {
+                b.iter(|| {
+                    let mc = MonteCarloCer::new(cells, 7).with_threads(4);
+                    std::hint::black_box(mc.estimate(d, &times))
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -50,7 +50,9 @@ fn bench_tec(c: &mut Criterion) {
     trits.resize(tec::TEC_CELLS, pcm_codec::Trit::S1);
     let check = codec.encode(&trits);
     let mut drifted = trits.clone();
-    drifted[100] = drifted[100].drift_successor().unwrap_or(pcm_codec::Trit::S4);
+    drifted[100] = drifted[100]
+        .drift_successor()
+        .unwrap_or(pcm_codec::Trit::S4);
     c.bench_function("tec_decode_one_drift_error", |b| {
         b.iter(|| std::hint::black_box(codec.decode(&drifted, &check).unwrap()))
     });

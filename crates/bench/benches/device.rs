@@ -11,26 +11,30 @@ use pcm_wearout::fault::EnduranceModel;
 // out mid-benchmark. Use SLC endurance (1e8) so the datapath cost is
 // measured, not the wearout machinery.
 fn three_level_device() -> PcmDevice {
-    PcmDevice::with_endurance(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        16,
-        4,
-        11,
-        EnduranceModel::slc(),
-    )
+    PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(16)
+        .banks(4)
+        .seed(11)
+        .endurance(EnduranceModel::slc())
+        .build()
+        .unwrap()
 }
 
 fn four_level_device() -> PcmDevice {
-    PcmDevice::with_endurance(
-        CellOrganization::FourLevel {
+    PcmDevice::builder()
+        .organization(CellOrganization::FourLevel {
             design: pcm_core::optimize::four_level_optimal().clone(),
             smart: true,
-        },
-        16,
-        4,
-        11,
-        EnduranceModel::slc(),
-    )
+        })
+        .blocks(16)
+        .banks(4)
+        .seed(11)
+        .endurance(EnduranceModel::slc())
+        .build()
+        .unwrap()
 }
 
 fn bench_writes(c: &mut Criterion) {
@@ -85,13 +89,16 @@ fn bench_refresh(c: &mut Criterion) {
 fn bench_wear_leveling(c: &mut Criterion) {
     use pcm_device::WearLeveledDevice;
     let data = pcm_bench::payload(6);
-    let raw = PcmDevice::with_endurance(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        17,
-        1,
-        13,
-        EnduranceModel::slc(),
-    );
+    let raw = PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(17)
+        .banks(1)
+        .seed(13)
+        .endurance(EnduranceModel::slc())
+        .build()
+        .unwrap();
     let mut dev = WearLeveledDevice::new(raw, 16, 16);
     for b in 0..16 {
         dev.write_block(b, &data).unwrap();

@@ -1,0 +1,117 @@
+//! Sharded-device throughput: the full write datapath driven from 1–8
+//! threads over a threads × banks sweep. The acceptance target for the
+//! concurrent engine is ≥2× aggregate write throughput at 4 threads /
+//! 8 banks over the single-threaded run — that requires ≥4 hardware
+//! cores; on fewer, the sweep instead demonstrates that sharding adds
+//! no overhead (thread counts land within noise of each other and of
+//! the sequential baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcm_core::level::LevelDesign;
+use pcm_device::{CellOrganization, PcmDevice, ShardedPcmDevice};
+use pcm_wearout::fault::EnduranceModel;
+
+/// Writes issued per benchmark iteration (across all threads).
+const OPS: usize = 64;
+
+// As in `device.rs`: SLC endurance (1e8 cycles) so hundreds of
+// thousands of iterations at the same blocks measure the datapath, not
+// the wearout machinery.
+fn sharded(banks: usize) -> ShardedPcmDevice {
+    PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(banks * 4)
+        .banks(banks)
+        .seed(11)
+        .endurance(EnduranceModel::slc())
+        .build_sharded()
+        .unwrap()
+}
+
+/// One iteration's worth of writes, fanned out so thread `t` owns banks
+/// `t, t+threads, …` — disjoint shards, so no thread ever blocks on
+/// another's mutex.
+fn run_ops(dev: &ShardedPcmDevice, threads: usize, data: &[u8]) {
+    let banks = dev.banks();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut session = dev.session();
+                let own: Vec<usize> = (t..banks).step_by(threads).collect();
+                for i in 0..OPS / threads {
+                    // Bank-local slot 0 of each owned bank, round-robin.
+                    let block = own[i % own.len()];
+                    session.write_block(block, data).unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_thread_bank_sweep(c: &mut Criterion) {
+    let data = pcm_bench::payload(7);
+    let mut g = c.benchmark_group("sharded_write_64B");
+    g.throughput(Throughput::Bytes((OPS * 64) as u64));
+    for banks in [1usize, 4, 8] {
+        for threads in [1usize, 2, 4, 8] {
+            if threads > banks || banks % threads != 0 {
+                continue;
+            }
+            let dev = sharded(banks);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{banks}banks"), threads),
+                &threads,
+                |b, &threads| b.iter(|| run_ops(&dev, threads, &data)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_batch_vs_singles(c: &mut Criterion) {
+    let data = pcm_bench::payload(9);
+    let mut g = c.benchmark_group("sharded_batch_64B");
+    g.throughput(Throughput::Bytes((OPS * 64) as u64));
+
+    let dev = sharded(8);
+    let blocks: Vec<usize> = (0..OPS).map(|i| i % dev.blocks()).collect();
+    let requests: Vec<(usize, &[u8])> = blocks.iter().map(|&b| (b, &data[..])).collect();
+    g.bench_function("write_batch", |b| {
+        b.iter(|| std::hint::black_box(dev.write_batch(&requests)))
+    });
+    g.bench_function("write_singles", |b| {
+        b.iter(|| {
+            for &blk in &blocks {
+                std::hint::black_box(dev.write_block(blk, &data).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_sequential_baseline(c: &mut Criterion) {
+    // The non-sharded engine on the same geometry, for the overhead of
+    // the mutex + atomic-clock layer at one thread.
+    let data = pcm_bench::payload(7);
+    let mut g = c.benchmark_group("sequential_write_64B");
+    g.throughput(Throughput::Bytes((OPS * 64) as u64));
+    let mut dev: PcmDevice = sharded(8).into_sequential();
+    g.bench_function("8banks", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                std::hint::black_box(dev.write_block(i % 8, &data).unwrap());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_thread_bank_sweep,
+    bench_batch_vs_singles,
+    bench_sequential_baseline
+);
+criterion_main!(benches);

@@ -10,7 +10,9 @@ use pcm_wearout::EcpMlc;
 fn bench_mark_spare(c: &mut Criterion) {
     let codec = MarkSpareCodec::default();
     let values: Vec<u8> = (0..171).map(|i| (i % 8) as u8).collect();
-    let pairs = codec.encode_pairs(&values, &[5, 60, 120, 170, 173, 176]).unwrap();
+    let pairs = codec
+        .encode_pairs(&values, &[5, 60, 120, 170, 173, 176])
+        .unwrap();
     let mut g = c.benchmark_group("mark_and_spare_decode_6_failures");
     g.bench_function("skip_scan", |b| {
         b.iter(|| std::hint::black_box(codec.decode_pairs(&pairs).unwrap()))

@@ -14,10 +14,33 @@ use pcm_bench::experiments as exp;
 use pcm_bench::experiments::Opts;
 
 const ALL: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5",
-    "fig6", "fig7", "fig8", "fig9", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "ablate-mapping", "ablate-ecc", "ablate-scale", "ablate-sensing", "ablate-relaxed-write",
-    "ablate-lifetime", "validate-bler", "validate-write-distribution",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "ablate-mapping",
+    "ablate-ecc",
+    "ablate-scale",
+    "ablate-sensing",
+    "ablate-relaxed-write",
+    "ablate-lifetime",
+    "validate-bler",
+    "validate-write-distribution",
 ];
 
 fn run(name: &str, opts: &Opts) {

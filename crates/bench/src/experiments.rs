@@ -48,7 +48,10 @@ fn out(opts: &Opts, name: &str) -> std::path::PathBuf {
 /// Table 1: MLC-PCM resistance and drift parameters.
 pub fn table1(opts: &Opts) {
     println!("== Table 1: MLC-PCM resistance and drift parameters ==");
-    println!("{:>6} | {:>8} | {:>6} | {:>6} | {:>8}", "state", "log10 R", "sigmaR", "mu_a", "sigma_a");
+    println!(
+        "{:>6} | {:>8} | {:>6} | {:>6} | {:>8}",
+        "state", "log10 R", "sigmaR", "mu_a", "sigma_a"
+    );
     let mut rows = Vec::new();
     for s in StateLabel::ALL {
         let a = s.drift_alpha();
@@ -69,19 +72,31 @@ pub fn table1(opts: &Opts) {
             a.sigma
         ));
     }
-    write_csv(&out(opts, "table1.csv"), "state,log10_r,sigma_r,mu_alpha,sigma_alpha", &rows);
+    write_csv(
+        &out(opts, "table1.csv"),
+        "state,log10_r,sigma_r,mu_alpha,sigma_alpha",
+        &rows,
+    );
 }
 
 /// Table 2: the 3-ON-2 encoding.
 pub fn table2(opts: &Opts) {
     use pcm_codec::three_on_two::{decode_pair, encode_pair, inv_pair, PairValue};
     println!("== Table 2: example 3-ON-2 encoding ==");
-    println!("{:>10} | {:>11} | {:>8}", "first cell", "second cell", "3-bit data");
+    println!(
+        "{:>10} | {:>11} | {:>8}",
+        "first cell", "second cell", "3-bit data"
+    );
     let mut rows = Vec::new();
     for v in 0..8u8 {
         let (a, b) = encode_pair(v);
         assert_eq!(decode_pair(a, b), PairValue::Data(v));
-        println!("{:>10} | {:>11} | {:>8}", format!("{a:?}"), format!("{b:?}"), format!("{v:03b}"));
+        println!(
+            "{:>10} | {:>11} | {:>8}",
+            format!("{a:?}"),
+            format!("{b:?}"),
+            format!("{v:03b}")
+        );
         rows.push(format!("{a:?},{b:?},{v:03b}"));
     }
     let (a, b) = inv_pair();
@@ -150,7 +165,14 @@ pub fn table3(opts: &Opts) {
     ];
     println!(
         "{:>12} | {:>28} | {:>32} | {:>12} | {:>8} | {:>8} | {:>18} | {:>9}",
-        "mechanism", "data", "wearout", "drift ECC", "enc FO4", "dec FO4", "refresh period", "bits/cell"
+        "mechanism",
+        "data",
+        "wearout",
+        "drift ECC",
+        "enc FO4",
+        "dec FO4",
+        "refresh period",
+        "bits/cell"
     );
     let mut csv = Vec::new();
     for (name, data, wear, ecc, enc, dec, period, density) in rows {
@@ -159,7 +181,9 @@ pub fn table3(opts: &Opts) {
             if enc.is_nan() { "n/a".into() } else { format!("{enc:.0}") },
             if dec.is_nan() { "n/a".into() } else { format!("{dec:.0}") },
         );
-        csv.push(format!("{name},{data},{wear},{ecc},{enc},{dec},{period},{density:.4}"));
+        csv.push(format!(
+            "{name},{data},{wear},{ecc},{enc},{dec},{period},{density:.4}"
+        ));
     }
     println!(
         "\npaper anchors: densities 1.52 / 1.29 / 1.41; BCH FO4 18/569 vs 18/68; \
@@ -188,15 +212,31 @@ pub fn table4(opts: &Opts) {
 pub fn table5(opts: &Opts) {
     let p = pcm_sim::SimParams::default();
     println!("== Table 5: simulation parameters ==");
-    println!("processor        : out-of-order-style core @ {} GHz", p.cpu_freq_ghz);
-    println!("PCM read         : {} ns (+ECC adder 36.25/5 ns)", p.read_latency_ns);
+    println!(
+        "processor        : out-of-order-style core @ {} GHz",
+        p.cpu_freq_ghz
+    );
+    println!(
+        "PCM read         : {} ns (+ECC adder 36.25/5 ns)",
+        p.read_latency_ns
+    );
     println!("PCM write        : {} ns", p.write_latency_ns);
-    println!("write throughput : {:.0} MB/s ({} writes / {} ns window)",
-        p.write_bandwidth_bytes_per_sec() / 1e6, p.writes_per_window, p.write_window_ns);
+    println!(
+        "write throughput : {:.0} MB/s ({} writes / {} ns window)",
+        p.write_bandwidth_bytes_per_sec() / 1e6,
+        p.writes_per_window,
+        p.write_window_ns
+    );
     println!("banks            : {}", p.banks);
-    println!("blocks (scaled)  : {} (refresh op rate preserved: {:.0}/s)",
-        p.blocks, p.refresh_ops_per_sec());
-    println!("refresh interval : {} s (scaled 17 min)", p.refresh_interval_s);
+    println!(
+        "blocks (scaled)  : {} (refresh op rate preserved: {:.0}/s)",
+        p.blocks,
+        p.refresh_ops_per_sec()
+    );
+    println!(
+        "refresh interval : {} s (scaled 17 min)",
+        p.refresh_interval_s
+    );
     write_csv(
         &out(opts, "table5.csv"),
         "param,value",
@@ -218,7 +258,10 @@ pub fn table5(opts: &Opts) {
 
 fn pdf_csv(design: &LevelDesign, path: &Path) {
     let series = design.pdf_series(2.5, 6.5, 401);
-    let rows: Vec<String> = series.iter().map(|(x, y)| format!("{x:.4},{y:.6}")).collect();
+    let rows: Vec<String> = series
+        .iter()
+        .map(|(x, y)| format!("{x:.4},{y:.6}"))
+        .collect();
     write_csv(path, "log10_r,pdf", &rows);
 }
 
@@ -277,9 +320,14 @@ pub fn fig2(opts: &Opts) {
     // The weak tail (0.1%) is what forces refresh, not the median.
     let qs = [0.001, 0.01, 0.5];
     let samples = opts.samples.min(500_000);
-    println!("
-  per-cell retention percentiles ({samples} cells):");
-    println!("  {:>14} | {:>12} | {:>12} | {:>12}", "population", "q=0.1%", "q=1%", "median");
+    println!(
+        "
+  per-cell retention percentiles ({samples} cells):"
+    );
+    println!(
+        "  {:>14} | {:>12} | {:>12} | {:>12}",
+        "population", "q=0.1%", "q=1%", "median"
+    );
     let mut prows = Vec::new();
     for (label, design, state) in [
         ("4LCn S2", LevelDesign::four_level_naive(), 1usize),
@@ -364,14 +412,20 @@ pub fn fig4(opts: &Opts) {
         rows.push(format!("{},{:.4},{:.4}", mins, a.device, a.bank));
     }
     println!("paper anchors at 17 min: device 74%, bank 97%");
-    write_csv(&out(opts, "fig4_availability.csv"), "interval_min,device,bank", &rows);
+    write_csv(
+        &out(opts, "fig4_availability.csv"),
+        "interval_min,device,bank",
+        &rows,
+    );
 }
 
 /// Figure 5: BLER as a function of CER and BCH strength, plus targets.
 pub fn fig5(opts: &Opts) {
     println!("== Figure 5: block error rate vs cell error rate and ECC ==");
     let g = DeviceGeometry::default();
-    let cers: Vec<f64> = (0..=60).map(|i| 10f64.powf(-10.0 + i as f64 * 0.15)).collect();
+    let cers: Vec<f64> = (0..=60)
+        .map(|i| 10f64.powf(-10.0 + i as f64 * 0.15))
+        .collect();
     let mut rows = Vec::new();
     for (i, &cer) in cers.iter().enumerate() {
         let mut row = format!("{cer:e}");
@@ -386,7 +440,10 @@ pub fn fig5(opts: &Opts) {
     }
     let header = format!(
         "cer,{}",
-        (0..=10).map(|t| format!("bch{t}")).collect::<Vec<_>>().join(",")
+        (0..=10)
+            .map(|t| format!("bch{t}"))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     write_csv(&out(opts, "fig5_bler.csv"), &header, &rows);
     println!("target per-period BLER lines:");
@@ -397,10 +454,18 @@ pub fn fig5(opts: &Opts) {
     }
     println!(
         "BCH needed for 4LCo at 17 min (CER ~1e-3): BCH-{}",
-        bler::required_bch_t(1e-3, g.target_bler_per_period(REFRESH_17MIN_SECS, TEN_YEARS_SECS), 16)
-            .unwrap()
+        bler::required_bch_t(
+            1e-3,
+            g.target_bler_per_period(REFRESH_17MIN_SECS, TEN_YEARS_SECS),
+            16
+        )
+        .unwrap()
     );
-    write_csv(&out(opts, "fig5_targets.csv"), "label,target_bler", &target_rows);
+    write_csv(
+        &out(opts, "fig5_targets.csv"),
+        "label,target_bler",
+        &target_rows,
+    );
 }
 
 /// Figures 6 & 7: the optimal four- and three-level mappings.
@@ -419,14 +484,27 @@ pub fn fig6_fig7(opts: &Opts) {
         ),
     ];
     for (base, optd, fig) in cases {
-        println!("  {} simple : nominals {:?} thresholds {:?}",
+        println!(
+            "  {} simple : nominals {:?} thresholds {:?}",
             base.name,
-            base.states.iter().map(|s| s.nominal_logr).collect::<Vec<_>>(),
-            base.thresholds);
-        println!("  {} optimal: nominals {:?} thresholds {:?}",
+            base.states
+                .iter()
+                .map(|s| s.nominal_logr)
+                .collect::<Vec<_>>(),
+            base.thresholds
+        );
+        println!(
+            "  {} optimal: nominals {:?} thresholds {:?}",
             optd.name,
-            optd.states.iter().map(|s| (s.nominal_logr * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
-            optd.thresholds.iter().map(|t| (t * 1000.0).round() / 1000.0).collect::<Vec<_>>());
+            optd.states
+                .iter()
+                .map(|s| (s.nominal_logr * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>(),
+            optd.thresholds
+                .iter()
+                .map(|t| (t * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
+        );
         pdf_csv(&base, &out(opts, &format!("{fig}_pdf_simple.csv")));
         pdf_csv(optd, &out(opts, &format!("{fig}_pdf_optimal.csv")));
     }
@@ -458,7 +536,10 @@ pub fn fig8(opts: &Opts) {
         }
         rows.push(format!(
             "{t},{}",
-            cers.iter().map(|c| format!("{c:e}")).collect::<Vec<_>>().join(",")
+            cers.iter()
+                .map(|c| format!("{c:e}"))
+                .collect::<Vec<_>>()
+                .join(",")
         ));
     }
     write_csv(
@@ -502,12 +583,15 @@ pub fn fig8(opts: &Opts) {
 pub fn fig9(_opts: &Opts) {
     use pcm_device::{CellOrganization, PcmDevice};
     println!("== Figure 9: read data path walk-through (3LC block) ==");
-    let mut dev = PcmDevice::new(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        1,
-        1,
-        77,
-    );
+    let mut dev = PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(1)
+        .banks(1)
+        .seed(77)
+        .build()
+        .unwrap();
     let data = crate::payload(42);
     dev.write_block(0, &data).unwrap();
     println!("  write: 512 data bits -> 3-ON-2 (342 cells) + 12 spare + BCH-1 (10 SLC cells)");
@@ -515,9 +599,18 @@ pub fn fig9(_opts: &Opts) {
     let r = dev.read_block(0).unwrap();
     println!("  after {}:", format_duration(2f64.powi(31)));
     println!("    1. PCM array read         : 354 trits + 10 check bits sensed");
-    println!("    2. transient correction   : {} bit(s) fixed by BCH-1", r.corrected_bits);
-    println!("    3. hard error correction  : {} cells remapped (mark-and-spare)", r.repaired_cells);
-    println!("    4. symbol decoding        : data {}", if r.data == data { "EXACT" } else { "CORRUPT" });
+    println!(
+        "    2. transient correction   : {} bit(s) fixed by BCH-1",
+        r.corrected_bits
+    );
+    println!(
+        "    3. hard error correction  : {} cells remapped (mark-and-spare)",
+        r.repaired_cells
+    );
+    println!(
+        "    4. symbol decoding        : data {}",
+        if r.data == data { "EXACT" } else { "CORRUPT" }
+    );
     assert_eq!(r.data, data);
 }
 
@@ -543,14 +636,20 @@ pub fn fig12(_opts: &Opts) {
     assert_eq!(staged, values);
     println!("  skip-scan decode  : {scan:?}");
     println!("  MUX-stage decode  : {staged:?}  (Figure 12 datapath, identical)");
-    assert!(matches!(decode_pair(pairs[1].0, pairs[1].1), PairValue::Inv));
+    assert!(matches!(
+        decode_pair(pairs[1].0, pairs[1].1),
+        PairValue::Inv
+    ));
 }
 
 /// Figure 13: OR-chain topologies (delay/gates/fanout).
 pub fn fig13(opts: &Opts) {
     use pcm_wearout::or_chain::{PrefixOrNetwork, BLOCK_FLAGS};
     println!("== Figure 13: prefix OR-chain comparison ==");
-    println!("{:>12} | {:>4} | {:>6} | {:>6} | {:>6}", "topology", "n", "depth", "gates", "fanout");
+    println!(
+        "{:>12} | {:>4} | {:>6} | {:>6} | {:>6}",
+        "topology", "n", "depth", "gates", "fanout"
+    );
     let mut rows = Vec::new();
     for n in [16usize, BLOCK_FLAGS] {
         for net in [
@@ -576,7 +675,11 @@ pub fn fig13(opts: &Opts) {
         }
     }
     println!("paper: 177-gate ripple chain vs O(log n) Sklansky (Fig 13b shows n=16, 4 levels)");
-    write_csv(&out(opts, "fig13_or_chains.csv"), "topology,n,depth,gates,max_fanout", &rows);
+    write_csv(
+        &out(opts, "fig13_or_chains.csv"),
+        "topology,n,depth,gates,max_fanout",
+        &rows,
+    );
 }
 
 /// Figure 14: ECP for MLC worked example.
@@ -588,11 +691,15 @@ pub fn fig14(_opts: &Opts) {
     ecp.mark(200, 0).unwrap();
     let mut sensed = vec![3usize; 256];
     ecp.apply(&mut sensed);
+    println!("  2 of 6 entries used; 8-bit pointers in 4 cells + 1 replacement cell each");
     println!(
-        "  2 of 6 entries used; 8-bit pointers in 4 cells + 1 replacement cell each"
+        "  cell 17 corrected to state {}, cell 200 to state {}",
+        sensed[17], sensed[200]
     );
-    println!("  cell 17 corrected to state {}, cell 200 to state {}", sensed[17], sensed[200]);
-    println!("  overhead for 6 entries: {} cells (paper: 31)", EcpMlc::overhead_cells(6));
+    println!(
+        "  overhead for 6 entries: {} cells (paper: 31)",
+        EcpMlc::overhead_cells(6)
+    );
     assert_eq!(EcpMlc::overhead_cells(6), 31);
 }
 
@@ -600,7 +707,10 @@ pub fn fig14(_opts: &Opts) {
 pub fn fig15(opts: &Opts) {
     println!("== Figure 15: bits/cell vs hard errors tolerated ==");
     let series = pcm_wearout::capacity::figure15_series(20);
-    println!("{:>3} | {:>6} | {:>7} | {:>11}", "e", "4LC", "3-ON-2", "permutation");
+    println!(
+        "{:>3} | {:>6} | {:>7} | {:>11}",
+        "e", "4LC", "3-ON-2", "permutation"
+    );
     let mut rows = Vec::new();
     for (e, f, t, p) in series {
         if e % 4 == 0 {
@@ -684,7 +794,10 @@ pub fn ablate_mapping(opts: &Opts) {
     let naive = LevelDesign::four_level_naive();
     let optd = optimize::four_level_optimal();
     let mut rows = Vec::new();
-    println!("{:>12} | {:>10} | {:>10} | {:>7}", "interval", "4LCn", "4LCo", "gain");
+    println!(
+        "{:>12} | {:>10} | {:>10} | {:>7}",
+        "interval", "4LCn", "4LCo", "gain"
+    );
     for e in [5, 10, 15, 20, 25] {
         let t = 2f64.powi(e);
         let (a, b) = (an.cer(&naive, t), an.cer(optd, t));
@@ -697,9 +810,16 @@ pub fn ablate_mapping(opts: &Opts) {
         );
         rows.push(format!("{t},{a:e},{b:e}"));
     }
-    println!("\nS3 drift margins: naive {:.3} vs optimal {:.3} (log10 ohm)",
-        naive.drift_margin(2), optd.drift_margin(2));
-    write_csv(&out(opts, "ablate_mapping.csv"), "t_secs,naive,optimal", &rows);
+    println!(
+        "\nS3 drift margins: naive {:.3} vs optimal {:.3} (log10 ohm)",
+        naive.drift_margin(2),
+        optd.drift_margin(2)
+    );
+    write_csv(
+        &out(opts, "ablate_mapping.csv"),
+        "t_secs,naive,optimal",
+        &rows,
+    );
 }
 
 /// Ablation: ECC strength sweep for the 3LC block (BCH-1 is a safety
@@ -710,7 +830,10 @@ pub fn ablate_ecc(opts: &Opts) {
     let g = DeviceGeometry::default();
     let d = optimize::three_level_optimal();
     let mut rows = Vec::new();
-    println!("{:>6} | {:>16} | {:>10}", "BCH-t", "max interval", "extra cells");
+    println!(
+        "{:>6} | {:>16} | {:>10}",
+        "BCH-t", "max interval", "extra cells"
+    );
     for t in 0..=4u64 {
         let cells = 354 + 10 * t; // check bits in SLC
         let max = retention::max_feasible_interval(d, &an, t, cells, &g, TEN_YEARS_SECS);
@@ -721,7 +844,11 @@ pub fn ablate_ecc(opts: &Opts) {
         );
         rows.push(format!("{t},{},{}", max.unwrap_or(0.0), 10 * t));
     }
-    write_csv(&out(opts, "ablate_ecc.csv"), "bch_t,max_interval_s,extra_cells", &rows);
+    write_csv(
+        &out(opts, "ablate_ecc.csv"),
+        "bch_t,max_interval_s,extra_cells",
+        &rows,
+    );
 }
 
 /// Ablation: Figure 16 sensitivity to the device-scaling factor.
@@ -729,7 +856,10 @@ pub fn ablate_scale(opts: &Opts) {
     use pcm_sim::{figure16, summary_gains, EnergyModel, SimParams};
     println!("== Ablation: Figure 16 vs simulation scale factor ==");
     let mut rows = Vec::new();
-    println!("{:>8} | {:>10} | {:>12} | {:>12}", "scale", "blocks", "perf gain", "energy save");
+    println!(
+        "{:>8} | {:>10} | {:>12} | {:>12}",
+        "scale", "blocks", "perf gain", "energy save"
+    );
     for shift in [8u32, 10, 12] {
         let scale = 1u64 << shift;
         let params = SimParams {
@@ -737,7 +867,12 @@ pub fn ablate_scale(opts: &Opts) {
             refresh_interval_s: 1024.0 / scale as f64,
             ..SimParams::default()
         };
-        let bars = figure16(&params, &EnergyModel::default(), opts.instructions, opts.seed);
+        let bars = figure16(
+            &params,
+            &EnergyModel::default(),
+            opts.instructions,
+            opts.seed,
+        );
         let (perf, energy) = summary_gains(&bars);
         println!(
             "{:>8} | {:>10} | {:>11.1}% | {:>11.1}%",
@@ -749,7 +884,11 @@ pub fn ablate_scale(opts: &Opts) {
         rows.push(format!("{scale},{},{perf:.4},{energy:.4}", params.blocks));
     }
     println!("(the refresh op rate is scale-invariant, so the gains barely move)");
-    write_csv(&out(opts, "ablate_scale.csv"), "scale,blocks,perf_gain,energy_saving", &rows);
+    write_csv(
+        &out(opts, "ablate_scale.csv"),
+        "scale,blocks,perf_gain,energy_saving",
+        &rows,
+    );
 }
 
 /// Ablation: circuit-level drift mitigation (§3 related work) — measure
@@ -772,7 +911,9 @@ pub fn ablate_sensing(opts: &Opts) {
         let aware = cer_with_scheme(&d4, SensingScheme::TimeAware, t, samples, opts.seed);
         let refs = cer_with_scheme(
             &d4,
-            SensingScheme::ReferenceCells { reference_cells: 16 },
+            SensingScheme::ReferenceCells {
+                reference_cells: 16,
+            },
             t,
             samples,
             opts.seed,
@@ -869,9 +1010,7 @@ pub fn ablate_lifetime(opts: &Opts) {
         let l4 = lifetime::block_lifetime_cycles(&m, 306, tol, 1e-4);
         let l3 = lifetime::block_lifetime_cycles(&m, 354, tol, 1e-4);
         let dev = lifetime::device_lifetime_cycles(&m, 1 << 28, 354, tol, 1 << 16);
-        println!(
-            "{tol:>10} | {l4:>14.0} | {l3:>14.0} | {dev:>18.0}"
-        );
+        println!("{tol:>10} | {l4:>14.0} | {l3:>14.0} | {dev:>18.0}");
         rows.push(format!("{tol},{l4:.0},{l3:.0},{dev:.0}"));
     }
     // MC cross-check at the paper's operating point.
@@ -905,15 +1044,16 @@ pub fn validate_bler(opts: &Opts) {
     let t = 2f64.powi(15); // 9 hours: 4LCn CER ≈ 3.2e-2, BLER ≈ 0.4
     let design = LevelDesign::four_level_naive();
 
-    let mut dev = PcmDevice::new(
-        CellOrganization::FourLevel {
+    let mut dev = PcmDevice::builder()
+        .organization(CellOrganization::FourLevel {
             design: design.clone(),
             smart: false,
-        },
-        blocks,
-        8,
-        opts.seed ^ 0xB1E5,
-    );
+        })
+        .blocks(blocks)
+        .banks(8)
+        .seed(opts.seed ^ 0xB1E5)
+        .build()
+        .unwrap();
     let mut rng = pcm_core::rng::Xoshiro256pp::seed_from_u64(opts.seed);
     let mut payloads = Vec::with_capacity(blocks);
     for b in 0..blocks {
@@ -945,7 +1085,11 @@ pub fn validate_bler(opts: &Opts) {
         lo,
         hi
     );
-    println!("  analytic chain (CER {} -> Binomial(306) tail > 10): {:.4}", sci(cer), predicted);
+    println!(
+        "  analytic chain (CER {} -> Binomial(306) tail > 10): {:.4}",
+        sci(cer),
+        predicted
+    );
     let ratio = measured.estimate() / predicted;
     println!(
         "  ratio {ratio:.3}  (BCH miscorrections at >10 errors make the device\n\
@@ -962,12 +1106,15 @@ pub fn validate_bler(opts: &Opts) {
     );
 
     // The 3LC contrast: same experiment, zero failures expected.
-    let mut dev3 = PcmDevice::new(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        blocks.min(1024),
-        8,
-        opts.seed ^ 0x31C,
-    );
+    let mut dev3 = PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(blocks.min(1024))
+        .banks(8)
+        .seed(opts.seed ^ 0x31C)
+        .build()
+        .unwrap();
     let n3 = dev3.blocks();
     for b in 0..n3 {
         dev3.write_block(b, &payloads[b % payloads.len()]).unwrap();
@@ -976,9 +1123,7 @@ pub fn validate_bler(opts: &Opts) {
     let failed3 = (0..n3)
         .filter(|&b| !matches!(dev3.read_block(b), Ok(r) if r.data == payloads[b % payloads.len()]))
         .count();
-    println!(
-        "  3LC control: {n3} blocks after ten unrefreshed years -> {failed3} failures"
-    );
+    println!("  3LC control: {n3} blocks after ten unrefreshed years -> {failed3} failures");
     assert_eq!(failed3, 0, "3LC must not lose a block in this experiment");
 }
 
@@ -995,7 +1140,11 @@ pub fn validate_write_distribution(opts: &Opts) {
     let per_state = (opts.samples / 40).clamp(50_000, 2_000_000);
     for state in 0..d.n_levels() {
         for _ in 0..per_state {
-            hist.push(pcm_core::cell::write_cell(&d, state, &mut rng).trajectory.logr0);
+            hist.push(
+                pcm_core::cell::write_cell(&d, state, &mut rng)
+                    .trajectory
+                    .logr0,
+            );
         }
     }
     let mut max_abs = 0.0f64;

@@ -84,7 +84,11 @@ pub fn rank(perm: &[u8; CELLS_PER_GROUP]) -> Result<u16, PermError> {
 /// metastable).
 pub fn decode_analog(levels: &[f64; CELLS_PER_GROUP]) -> Result<u16, PermError> {
     let mut order: Vec<usize> = (0..CELLS_PER_GROUP).collect();
-    order.sort_by(|&a, &b| levels[a].partial_cmp(&levels[b]).expect("levels must not be NaN"));
+    order.sort_by(|&a, &b| {
+        levels[a]
+            .partial_cmp(&levels[b])
+            .expect("levels must not be NaN")
+    });
     for w in order.windows(2) {
         if levels[w[0]] == levels[w[1]] {
             return Err(PermError::AmbiguousOrder);

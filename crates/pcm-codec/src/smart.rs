@@ -61,9 +61,7 @@ pub fn encode_block(states: &mut [usize]) -> u8 {
     }
     let (best_tag, _) = (0..TRANSFORMS as u8)
         .map(|tag| {
-            let cost: u32 = (0..4)
-                .map(|s| counts[s] * state_cost(apply(tag, s)))
-                .sum();
+            let cost: u32 = (0..4).map(|s| counts[s] * state_cost(apply(tag, s))).sum();
             (tag, cost)
         })
         .min_by_key(|&(tag, cost)| (cost, tag))

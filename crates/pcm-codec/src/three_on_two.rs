@@ -91,9 +91,15 @@ pub fn encode_block(data: &BitVec) -> Vec<Trit> {
 /// bits; the wearout layer substitutes spares *before* calling this in the
 /// real read path (Figure 9), so INV here means an unrepaired failure.
 pub fn decode_block(trits: &[Trit], len_bits: usize) -> (BitVec, Vec<bool>) {
-    assert!(trits.len().is_multiple_of(2), "trit stream must be whole pairs");
+    assert!(
+        trits.len().is_multiple_of(2),
+        "trit stream must be whole pairs"
+    );
     let pairs = trits.len() / 2;
-    assert!(pairs * 3 >= len_bits, "not enough pairs for {len_bits} bits");
+    assert!(
+        pairs * 3 >= len_bits,
+        "not enough pairs for {len_bits} bits"
+    );
     let mut data = BitVec::zeros(len_bits);
     let mut inv = vec![false; pairs];
     for p in 0..pairs {

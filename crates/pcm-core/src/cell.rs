@@ -154,7 +154,10 @@ mod tests {
         let errors = (0..100_000)
             .filter(|_| is_error_at(&d, &write_cell(&d, 1, &mut rng), one_year))
             .count();
-        assert!(errors <= 2, "3LCn S2 CER at 1 year should be < ~1e-5, got {errors}");
+        assert!(
+            errors <= 2,
+            "3LCn S2 CER at 1 year should be < ~1e-5, got {errors}"
+        );
     }
 
     #[test]
@@ -162,9 +165,15 @@ mod tests {
         let d = LevelDesign::three_level_naive();
         let mut rng = Xoshiro256pp::seed_from_u64(6);
         let c = write_cell(&d, 1, &mut rng);
-        assert!(c.trajectory.switch.is_some(), "S2 below 4.5 carries the switch");
+        assert!(
+            c.trajectory.switch.is_some(),
+            "S2 below 4.5 carries the switch"
+        );
         let top = write_cell(&d, 2, &mut rng);
-        assert!(top.trajectory.switch.is_none(), "S4 starts above the switch point");
+        assert!(
+            top.trajectory.switch.is_none(),
+            "S4 starts above the switch point"
+        );
     }
 
     #[test]
@@ -206,7 +215,10 @@ mod tests {
             }
         }
         assert!(relaxed_attempts < tight_attempts);
-        assert!(beyond > 0, "relaxed writes must land outside the tight window");
+        assert!(
+            beyond > 0,
+            "relaxed writes must land outside the tight window"
+        );
     }
 
     #[test]

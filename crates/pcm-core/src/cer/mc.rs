@@ -94,12 +94,12 @@ impl MonteCarloCer {
 
         let workers = self.threads.min(shards);
         let mut worker_counts: Vec<Vec<u64>> = Vec::with_capacity(workers);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let shard_sizes = &shard_sizes;
                     let seed = self.seed;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut counts = vec![0u64; n_states * n_times];
                         for shard in (w..shards).step_by(workers) {
                             let mut rng = Xoshiro256pp::split(seed, shard as u64);
@@ -109,8 +109,7 @@ impl MonteCarloCer {
                                     // One trajectory serves the whole grid;
                                     // each evaluation is a few flops.
                                     for (ti, &t) in times.iter().enumerate() {
-                                        let sensed =
-                                            design.sense(cell.trajectory.logr_at(t));
+                                        let sensed = design.sense(cell.trajectory.logr_at(t));
                                         if sensed != state {
                                             counts[state * n_times + ti] += 1;
                                         }
@@ -125,8 +124,7 @@ impl MonteCarloCer {
             for h in handles {
                 worker_counts.push(h.join().expect("MC worker panicked"));
             }
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut totals = vec![0u64; n_states * n_times];
         for sc in &worker_counts {
@@ -200,10 +198,17 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let d = LevelDesign::four_level_naive();
-        let a = MonteCarloCer::new(50_000, 42).with_threads(1).estimate(&d, &[1024.0]);
-        let b = MonteCarloCer::new(50_000, 42).with_threads(8).estimate(&d, &[1024.0]);
+        let a = MonteCarloCer::new(50_000, 42)
+            .with_threads(1)
+            .estimate(&d, &[1024.0]);
+        let b = MonteCarloCer::new(50_000, 42)
+            .with_threads(8)
+            .estimate(&d, &[1024.0]);
         for (pa, pb) in a.points[0].per_state.iter().zip(&b.points[0].per_state) {
-            assert_eq!(pa.hits, pb.hits, "shard-seeded MC must not depend on threads");
+            assert_eq!(
+                pa.hits, pb.hits,
+                "shard-seeded MC must not depend on threads"
+            );
         }
     }
 
@@ -255,7 +260,9 @@ mod tests {
     #[test]
     fn shard_sizes_cover_odd_sample_counts() {
         let d = LevelDesign::three_level_naive();
-        let rep = MonteCarloCer::new(10_007, 3).with_threads(3).estimate(&d, &[2.0]);
+        let rep = MonteCarloCer::new(10_007, 3)
+            .with_threads(3)
+            .estimate(&d, &[2.0]);
         assert_eq!(rep.points[0].per_state[0].trials, 10_007);
     }
 }

@@ -9,7 +9,7 @@
 //!
 //! * [`mc::MonteCarloCer`] — the paper's method: sample cells (10⁹ in the
 //!   paper; configurable here), drift them, count errors. Runs on all cores
-//!   via crossbeam scoped threads with deterministic per-shard seeding.
+//!   via std scoped threads with deterministic per-shard seeding.
 //! * [`analytic::AnalyticCer`] — nested Gauss–Legendre quadrature over the
 //!   write and drift-rate distributions. Deterministic, resolves error
 //!   rates far below any Monte-Carlo floor (needed for 3LCo, whose CER at

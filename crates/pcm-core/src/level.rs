@@ -123,7 +123,12 @@ impl LevelDesign {
     pub fn four_level_naive() -> Self {
         Self::uniform_occupancy(
             "4LCn",
-            &[StateLabel::S1, StateLabel::S2, StateLabel::S3, StateLabel::S4],
+            &[
+                StateLabel::S1,
+                StateLabel::S2,
+                StateLabel::S3,
+                StateLabel::S4,
+            ],
             &[3.0, 4.0, 5.0, 6.0],
             &[3.5, 4.5, 5.5],
             None,
@@ -281,12 +286,19 @@ impl LevelDesign {
 
     /// Map a sensed log-resistance to a state index.
     pub fn sense(&self, logr: f64) -> usize {
-        self.thresholds.iter().position(|&t| logr < t).unwrap_or(self.n_levels() - 1)
+        self.thresholds
+            .iter()
+            .position(|&t| logr < t)
+            .unwrap_or(self.n_levels() - 1)
     }
 
     /// Lower/upper sensing boundaries of state `i` (`None` at the extremes).
     pub fn region(&self, i: usize) -> (Option<f64>, Option<f64>) {
-        let lo = if i == 0 { None } else { Some(self.thresholds[i - 1]) };
+        let lo = if i == 0 {
+            None
+        } else {
+            Some(self.thresholds[i - 1])
+        };
         let hi = self.thresholds.get(i).copied();
         (lo, hi)
     }
@@ -425,9 +437,13 @@ mod tests {
             Err(DesignError::Margin(_))
         ));
         // Out-of-order nominals.
-        assert!(d.with_mapping(&[3.0, 5.0, 4.0, 6.0], &[3.5, 4.5, 5.5]).is_err());
+        assert!(d
+            .with_mapping(&[3.0, 5.0, 4.0, 6.0], &[3.5, 4.5, 5.5])
+            .is_err());
         // Out-of-order thresholds (also violates margins).
-        assert!(d.with_mapping(&[3.0, 4.0, 5.0, 6.0], &[4.5, 3.9, 5.5]).is_err());
+        assert!(d
+            .with_mapping(&[3.0, 4.0, 5.0, 6.0], &[4.5, 3.9, 5.5])
+            .is_err());
     }
 
     #[test]

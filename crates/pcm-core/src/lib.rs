@@ -47,7 +47,9 @@ pub mod retention;
 pub mod rng;
 pub mod sensing;
 
-pub use cell::{is_error_at, retention_secs, sense_at, write_cell, write_cell_with_tolerance, WrittenCell};
+pub use cell::{
+    is_error_at, retention_secs, sense_at, write_cell, write_cell_with_tolerance, WrittenCell,
+};
 pub use cer::{AnalyticCer, CerEstimator, MonteCarloCer};
 pub use drift::DriftTrajectory;
 pub use level::{DesignError, DriftSwitch, LevelDesign, LevelState};

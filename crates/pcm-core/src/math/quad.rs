@@ -25,8 +25,7 @@ impl GaussLegendre {
         let m = n.div_ceil(2);
         for i in 0..m {
             // Initial guess for the i-th root.
-            let mut z =
-                (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut z = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
             let mut pp = 0.0;
             for _ in 0..100 {
                 // Evaluate P_n(z) by recurrence.

@@ -70,8 +70,7 @@ impl MappingOptimizer {
         let free_nominals = k - 2; // interior states
         let dim = free_nominals + (k - 1); // + thresholds
 
-        let margin =
-            (base.write_tolerance_sigma + GUARD_BAND_SIGMA) * base.sigma_logr;
+        let margin = (base.write_tolerance_sigma + GUARD_BAND_SIGMA) * base.sigma_logr;
         let lo_pin = base.states[0].nominal_logr;
         let hi_pin = base.states[k - 1].nominal_logr;
 
@@ -306,8 +305,16 @@ mod tests {
     fn four_level_optimal_moves_in_figure6_direction() {
         let opt = four_level_optimal();
         // Nominals of S2/S3 shift left; τ3 shifts right (Figure 6).
-        assert!(opt.states[1].nominal_logr < 4.0, "µ2 = {}", opt.states[1].nominal_logr);
-        assert!(opt.states[2].nominal_logr < 5.0, "µ3 = {}", opt.states[2].nominal_logr);
+        assert!(
+            opt.states[1].nominal_logr < 4.0,
+            "µ2 = {}",
+            opt.states[1].nominal_logr
+        );
+        assert!(
+            opt.states[2].nominal_logr < 5.0,
+            "µ3 = {}",
+            opt.states[2].nominal_logr
+        );
         assert!(opt.thresholds[2] > 5.5, "τ3 = {}", opt.thresholds[2]);
         // S3's drift margin widens relative to the naive mapping.
         let naive = LevelDesign::four_level_naive();

@@ -217,7 +217,7 @@ mod tests {
     fn device_geometry_paper_numbers() {
         let g = DeviceGeometry::default();
         assert_eq!(g.blocks(), 268_435_456); // 16 GiB / 64 B
-        // "refreshing a 16GB device takes around 268 s" (§4.1).
+                                             // "refreshing a 16GB device takes around 268 s" (§4.1).
         assert!((g.full_refresh_secs() - 268.4).abs() < 0.5);
         // "target cumulative BLER of 3.73E-9" (§4.2).
         let t = g.target_cumulative_bler();

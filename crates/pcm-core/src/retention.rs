@@ -82,7 +82,13 @@ pub fn max_feasible_interval(
         .into_iter()
         .filter(|&t| {
             meets_target(
-                design, estimator, ecc_t, block_cells, geometry, t, horizon_secs,
+                design,
+                estimator,
+                ecc_t,
+                block_cells,
+                geometry,
+                t,
+                horizon_secs,
             )
         })
         .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.max(t))))

@@ -11,6 +11,16 @@
 //! per Monte-Carlo shard from `(seed, shard_index)`, so results are
 //! independent of thread count.
 
+/// Derive the seed of an independent RNG stream `index` from a base
+/// `seed` — the decorrelation hash behind [`Xoshiro256pp::split`], exposed
+/// so higher layers (Monte-Carlo shards, device banks) can reproduce the
+/// same stream identity without holding a generator.
+#[inline]
+pub fn stream_seed(seed: u64, index: u64) -> u64 {
+    let mixed = seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407);
+    mixed.wrapping_add(0x9E6C_63D0_876A_46DB)
+}
+
 /// SplitMix64 step; used for seeding and stream derivation.
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
@@ -45,8 +55,7 @@ impl Xoshiro256pp {
     /// `seed`. Streams are decorrelated by hashing `(seed, index)` through
     /// SplitMix64 with distinct mixing constants.
     pub fn split(seed: u64, index: u64) -> Self {
-        let mixed = seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407);
-        Self::seed_from_u64(mixed.wrapping_add(0x9E6C_63D0_876A_46DB))
+        Self::seed_from_u64(stream_seed(seed, index))
     }
 
     /// Next raw 64-bit output.

@@ -137,8 +137,7 @@ pub fn cer_with_scheme(
                 errors += 1;
             }
         }
-        weighted +=
-            design.states[state].occupancy * errors as f64 / samples_per_state as f64;
+        weighted += design.states[state].occupancy * errors as f64 / samples_per_state as f64;
     }
     weighted
 }
@@ -198,13 +197,18 @@ mod tests {
         let aware = cer_with_scheme(&d, SensingScheme::TimeAware, t, 100_000, 7);
         let ref64 = cer_with_scheme(
             &d,
-            SensingScheme::ReferenceCells { reference_cells: 64 },
+            SensingScheme::ReferenceCells {
+                reference_cells: 64,
+            },
             t,
             100_000,
             7,
         );
         let rel = (ref64 - aware).abs() / aware.max(1e-12);
-        assert!(rel < 0.35, "64-reference sensing ≈ time-aware: {ref64} vs {aware}");
+        assert!(
+            rel < 0.35,
+            "64-reference sensing ≈ time-aware: {ref64} vs {aware}"
+        );
     }
 
     #[test]
@@ -220,7 +224,9 @@ mod tests {
         );
         let ref32 = cer_with_scheme(
             &d,
-            SensingScheme::ReferenceCells { reference_cells: 32 },
+            SensingScheme::ReferenceCells {
+                reference_cells: 32,
+            },
             t,
             100_000,
             9,
@@ -274,6 +280,9 @@ mod tests {
                 errors += 1; // read as S2 although written S3
             }
         }
-        assert!(errors > 0, "stale-time threshold shift must misread some cells");
+        assert!(
+            errors > 0,
+            "stale-time threshold shift must misread some cells"
+        );
     }
 }

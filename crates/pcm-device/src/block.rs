@@ -350,7 +350,9 @@ mod tests {
     use pcm_wearout::fault::EnduranceModel;
 
     fn payload(seed: u8) -> Vec<u8> {
-        (0..64u32).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..64u32)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     fn fresh_array(cells: usize, seed: u64) -> CellArray {
@@ -383,15 +385,14 @@ mod tests {
     #[test]
     fn four_level_roundtrip_and_17min_refresh_window() {
         let mut arr = fresh_array(FOUR_LEVEL_BLOCK_CELLS, 3);
-        let mut blk = FourLevelBlock::new(
-            pcm_core::optimize::four_level_optimal().clone(),
-            0,
-            true,
-        );
+        let mut blk =
+            FourLevelBlock::new(pcm_core::optimize::four_level_optimal().clone(), 0, true);
         let data = payload(9);
         blk.write(&mut arr, 0.0, &data).unwrap();
         // Within the refresh interval BCH-10 holds the block together.
-        let r = blk.read(&arr, pcm_core::params::REFRESH_17MIN_SECS).unwrap();
+        let r = blk
+            .read(&arr, pcm_core::params::REFRESH_17MIN_SECS)
+            .unwrap();
         assert_eq!(r.data, data);
     }
 

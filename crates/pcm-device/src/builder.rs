@@ -1,0 +1,227 @@
+//! Device construction: a named-setter builder replacing the positional
+//! `PcmDevice::new(org, blocks, banks, seed)` constructors.
+//!
+//! ```
+//! use pcm_device::{CellOrganization, PcmDevice};
+//! use pcm_core::level::LevelDesign;
+//!
+//! let mut dev = PcmDevice::builder()
+//!     .organization(CellOrganization::ThreeLevel(LevelDesign::three_level_naive()))
+//!     .blocks(16)
+//!     .banks(4)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
+//! dev.write_block(0, &[0xA5; 64]).unwrap();
+//! ```
+//!
+//! The same configuration builds either engine: [`DeviceBuilder::build`]
+//! for the sequential [`PcmDevice`], [`DeviceBuilder::build_sharded`] for
+//! the concurrent [`ShardedPcmDevice`] — with bit-identical behavior for
+//! a given seed (see `crate::concurrent`).
+
+use crate::bank::PcmBank;
+use crate::concurrent::ShardedPcmDevice;
+use crate::device::{CellOrganization, PcmDevice};
+use pcm_core::level::LevelDesign;
+use pcm_wearout::fault::EnduranceModel;
+
+/// A rejected device configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `blocks` was zero.
+    ZeroBlocks,
+    /// `banks` was zero.
+    ZeroBanks,
+    /// Low-order interleaving requires `blocks % banks == 0`.
+    BlocksNotDivisibleByBanks {
+        /// Requested block count.
+        blocks: usize,
+        /// Requested bank count.
+        banks: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroBlocks => write!(f, "device needs at least one block"),
+            ConfigError::ZeroBanks => write!(f, "device needs at least one bank"),
+            ConfigError::BlocksNotDivisibleByBanks { blocks, banks } => write!(
+                f,
+                "block count {blocks} is not divisible by bank count {banks} \
+                 (low-order interleaving needs equal banks)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`PcmDevice`] / [`ShardedPcmDevice`].
+///
+/// Defaults: the paper's proposed 3LCo organization, 16 blocks, 4 banks,
+/// seed 0, MLC endurance.
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    organization: CellOrganization,
+    blocks: usize,
+    banks: usize,
+    seed: u64,
+    endurance: EnduranceModel,
+}
+
+impl Default for DeviceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeviceBuilder {
+    /// A builder with the default configuration.
+    pub fn new() -> Self {
+        Self {
+            organization: CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
+            blocks: 16,
+            banks: 4,
+            seed: 0,
+            endurance: EnduranceModel::mlc(),
+        }
+    }
+
+    /// Block organization (3LC stack, 4LC stack, or generic K-level).
+    pub fn organization(mut self, org: CellOrganization) -> Self {
+        self.organization = org;
+        self
+    }
+
+    /// Number of 64-byte blocks.
+    pub fn blocks(mut self, blocks: usize) -> Self {
+        self.blocks = blocks;
+        self
+    }
+
+    /// Number of banks (must divide `blocks`).
+    pub fn banks(mut self, banks: usize) -> Self {
+        self.banks = banks;
+        self
+    }
+
+    /// Base RNG seed; bank `i` draws from the independent stream
+    /// `stream_seed(seed, i)`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Endurance model (defaults to MLC; SLC for accelerated studies).
+    pub fn endurance(mut self, endurance: EnduranceModel) -> Self {
+        self.endurance = endurance;
+        self
+    }
+
+    /// Check the configuration without building.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.blocks == 0 {
+            return Err(ConfigError::ZeroBlocks);
+        }
+        if self.banks == 0 {
+            return Err(ConfigError::ZeroBanks);
+        }
+        if !self.blocks.is_multiple_of(self.banks) {
+            return Err(ConfigError::BlocksNotDivisibleByBanks {
+                blocks: self.blocks,
+                banks: self.banks,
+            });
+        }
+        Ok(())
+    }
+
+    fn build_banks(&self) -> Result<Vec<PcmBank>, ConfigError> {
+        self.validate()?;
+        let per_bank = self.blocks / self.banks;
+        Ok((0..self.banks)
+            .map(|id| PcmBank::new(&self.organization, id, per_bank, self.seed, self.endurance))
+            .collect())
+    }
+
+    /// Build the sequential engine.
+    pub fn build(self) -> Result<PcmDevice, ConfigError> {
+        Ok(PcmDevice::from_banks(self.build_banks()?, 0.0))
+    }
+
+    /// Build the lock-sharded concurrent engine from the same
+    /// configuration (bit-identical to [`DeviceBuilder::build`] for the
+    /// same seed and per-bank operation order).
+    pub fn build_sharded(self) -> Result<ShardedPcmDevice, ConfigError> {
+        Ok(ShardedPcmDevice::from_banks(self.build_banks()?, 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let dev = DeviceBuilder::new().build().unwrap();
+        assert_eq!(dev.blocks(), 16);
+        assert_eq!(dev.banks(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_geometry() {
+        assert_eq!(
+            DeviceBuilder::new().blocks(0).build().err(),
+            Some(ConfigError::ZeroBlocks)
+        );
+        assert_eq!(
+            DeviceBuilder::new().banks(0).build().err(),
+            Some(ConfigError::ZeroBanks)
+        );
+        assert_eq!(
+            DeviceBuilder::new().blocks(10).banks(4).build().err(),
+            Some(ConfigError::BlocksNotDivisibleByBanks {
+                blocks: 10,
+                banks: 4
+            })
+        );
+    }
+
+    #[test]
+    fn config_error_displays() {
+        let e = ConfigError::BlocksNotDivisibleByBanks {
+            blocks: 10,
+            banks: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains('4'), "{msg}");
+    }
+
+    #[test]
+    fn builder_matches_legacy_constructor() {
+        use pcm_core::level::LevelDesign;
+        let mut a = DeviceBuilder::new()
+            .organization(CellOrganization::ThreeLevel(
+                LevelDesign::three_level_naive(),
+            ))
+            .blocks(8)
+            .banks(2)
+            .seed(33)
+            .build()
+            .unwrap();
+        #[allow(deprecated)]
+        let mut b = PcmDevice::new(
+            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
+            8,
+            2,
+            33,
+        );
+        let data = vec![0xC3u8; 64];
+        let ra = a.write_block(5, &data).unwrap();
+        let rb = b.write_block(5, &data).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.read_block(5).unwrap(), b.read_block(5).unwrap());
+    }
+}

@@ -1,0 +1,512 @@
+//! The bank-sharded concurrent device engine.
+//!
+//! §7 of the paper models the device as independent banks with their own
+//! occupancy; this module turns that observation into a scalable
+//! *functional* engine. A [`ShardedPcmDevice`] holds one lock per bank
+//! ([`PcmBank`]), routes each operation to its bank by low-order
+//! interleaving **before** taking any lock, and aggregates statistics
+//! across shards on demand. Threads operating on different banks never
+//! contend.
+//!
+//! ## Determinism guarantee
+//!
+//! Every bank owns an RNG stream derived from `(device_seed, bank_id)`,
+//! so a bank's outcomes are a pure function of the *sequence of
+//! operations applied to that bank* — independent of thread count,
+//! cross-bank interleaving, and wall-clock scheduling. For the same seed,
+//! the sharded engine is bit-identical to the sequential
+//! [`PcmDevice`] whenever the per-bank
+//! operation order matches (cross-validated in `tests/proptests.rs` and
+//! `tests/concurrent_engine.rs`).
+//!
+//! ## Example
+//!
+//! ```
+//! use pcm_device::DeviceBuilder;
+//! use std::thread;
+//!
+//! let dev = DeviceBuilder::new().blocks(64).banks(8).seed(7)
+//!     .build_sharded().unwrap();
+//! thread::scope(|s| {
+//!     for t in 0..4 {
+//!         let mut session = dev.session();
+//!         s.spawn(move || {
+//!             for b in (t..64).step_by(4) {
+//!                 session.write_block(b, &[t as u8; 64]).unwrap();
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(dev.stats().writes, 64);
+//! ```
+
+use crate::bank::PcmBank;
+use crate::block::{ReadReport, WriteReport, BLOCK_BYTES};
+use crate::device::{DeviceStats, PcmDevice};
+use crate::error::PcmError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A PCM device sharing its banks across threads behind per-bank locks.
+///
+/// Built by [`DeviceBuilder::build_sharded`](crate::builder::DeviceBuilder::build_sharded).
+/// All methods take `&self`; clone-free [`Session`] handles are the
+/// intended per-thread interface.
+pub struct ShardedPcmDevice {
+    shards: Vec<Mutex<PcmBank>>,
+    blocks: usize,
+    /// Device clock, seconds, stored as `f64::to_bits`.
+    now_bits: AtomicU64,
+}
+
+impl ShardedPcmDevice {
+    pub(crate) fn from_banks(banks: Vec<PcmBank>, now: f64) -> Self {
+        let blocks = banks.iter().map(PcmBank::blocks).sum();
+        Self {
+            shards: banks.into_iter().map(Mutex::new).collect(),
+            blocks,
+            now_bits: AtomicU64::new(now.to_bits()),
+        }
+    }
+
+    /// Tear the sharded engine back down into a sequential device (e.g.
+    /// to hand it to [`RefreshController`](crate::refresh::RefreshController)
+    /// or the wear-leveling wrappers). Requires exclusive ownership, so no
+    /// lock can be held.
+    pub fn into_sequential(self) -> PcmDevice {
+        let now = f64::from_bits(self.now_bits.into_inner());
+        let banks = self
+            .shards
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("no shard lock can outlive the device")
+            })
+            .collect();
+        PcmDevice::from_banks(banks, now)
+    }
+
+    /// A handle for issuing operations from one thread. Sessions are
+    /// cheap, independent, and carry per-session operation counters.
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            dev: self,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.blocks * BLOCK_BYTES
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Number of banks (= shards = independent locks).
+    pub fn banks(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bank owning a block (low-order interleaving; identical to the
+    /// sequential engine's mapping).
+    pub fn bank_of(&self, block: usize) -> usize {
+        block % self.shards.len()
+    }
+
+    /// Current device time, seconds.
+    pub fn now(&self) -> f64 {
+        f64::from_bits(self.now_bits.load(Ordering::Acquire))
+    }
+
+    /// Advance the global clock (drift accrues on every written cell).
+    /// Safe to call concurrently; advances are atomic and cumulative.
+    pub fn advance_time(&self, secs: f64) {
+        assert!(secs >= 0.0, "time flows forward");
+        self.now_bits
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |bits| {
+                Some((f64::from_bits(bits) + secs).to_bits())
+            })
+            .expect("fetch_update closure never fails");
+    }
+
+    /// Route a global block index to `(shard, local_block)`.
+    fn locate(&self, block: usize) -> Result<(usize, usize), PcmError> {
+        if block >= self.blocks {
+            return Err(PcmError::BlockOutOfRange {
+                block,
+                blocks: self.blocks,
+            });
+        }
+        Ok((block % self.shards.len(), block / self.shards.len()))
+    }
+
+    /// Write 64 bytes to a block (locks only that block's bank).
+    pub fn write_block(&self, block: usize, data: &[u8]) -> Result<WriteReport, PcmError> {
+        let (shard, local) = self.locate(block)?;
+        let now = self.now();
+        let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
+        bank.write(local, now, data).map_err(PcmError::from)
+    }
+
+    /// Read 64 bytes from a block (locks only that block's bank).
+    pub fn read_block(&self, block: usize) -> Result<ReadReport, PcmError> {
+        let (shard, local) = self.locate(block)?;
+        let now = self.now();
+        let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
+        bank.read(local, now).map_err(PcmError::from)
+    }
+
+    /// Refresh (scrub) one block: read, correct, rewrite.
+    pub fn refresh_block(&self, block: usize) -> Result<(), PcmError> {
+        let (shard, local) = self.locate(block)?;
+        let now = self.now();
+        let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
+        bank.refresh(local, now).map_err(PcmError::from)
+    }
+
+    /// Bulk write path: requests are grouped by bank *before* any lock is
+    /// taken, so each bank is locked exactly once per call and requests
+    /// to a bank apply in submission order. Results come back in
+    /// submission order.
+    pub fn write_batch(&self, requests: &[(usize, &[u8])]) -> Vec<Result<WriteReport, PcmError>> {
+        let now = self.now();
+        let mut results: Vec<Option<Result<WriteReport, PcmError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        // Group indices by bank, preserving submission order within each.
+        let mut by_bank: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, (block, _)) in requests.iter().enumerate() {
+            match self.locate(*block) {
+                Ok((shard, _)) => by_bank[shard].push(i),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        for (shard, idxs) in by_bank.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
+            for &i in idxs {
+                let (block, data) = requests[i];
+                let local = block / self.shards.len();
+                results[i] = Some(bank.write(local, now, data).map_err(PcmError::from));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request routed"))
+            .collect()
+    }
+
+    /// Bulk read path; same grouping rule as [`Self::write_batch`].
+    pub fn read_batch(&self, blocks: &[usize]) -> Vec<Result<ReadReport, PcmError>> {
+        let now = self.now();
+        let mut results: Vec<Option<Result<ReadReport, PcmError>>> =
+            (0..blocks.len()).map(|_| None).collect();
+        let mut by_bank: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, block) in blocks.iter().enumerate() {
+            match self.locate(*block) {
+                Ok((shard, _)) => by_bank[shard].push(i),
+                Err(e) => results[i] = Some(Err(e)),
+            }
+        }
+        for (shard, idxs) in by_bank.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
+            for &i in idxs {
+                let local = blocks[i] / self.shards.len();
+                results[i] = Some(bank.read(local, now).map_err(PcmError::from));
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request routed"))
+            .collect()
+    }
+
+    /// Cumulative statistics aggregated across all banks. Locks each bank
+    /// briefly; numbers are a consistent snapshot only when no writer is
+    /// concurrently active.
+    pub fn stats(&self) -> DeviceStats {
+        let mut total = DeviceStats::default();
+        for shard in &self.shards {
+            total.accumulate(&shard.lock().expect("bank lock poisoned").stats());
+        }
+        total
+    }
+
+    /// Per-bank statistics, indexed by bank id.
+    pub fn bank_stats(&self) -> Vec<DeviceStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("bank lock poisoned").stats())
+            .collect()
+    }
+
+    /// Fault-injection hook: force a cell's lifetime (device-wide
+    /// block-major cell layout, like the sequential engine).
+    pub fn inject_lifetime(&self, cell: usize, cycles: u64) {
+        let cpb = self.shards[0]
+            .lock()
+            .expect("bank lock poisoned")
+            .cells_per_block();
+        let block = cell / cpb;
+        let within = cell % cpb;
+        let shard = block % self.shards.len();
+        let local_block = block / self.shards.len();
+        self.shards[shard]
+            .lock()
+            .expect("bank lock poisoned")
+            .set_lifetime(local_block * cpb + within, cycles);
+    }
+}
+
+impl From<PcmDevice> for ShardedPcmDevice {
+    fn from(dev: PcmDevice) -> Self {
+        let (banks, now) = dev.into_banks();
+        Self::from_banks(banks, now)
+    }
+}
+
+impl From<ShardedPcmDevice> for PcmDevice {
+    fn from(dev: ShardedPcmDevice) -> Self {
+        dev.into_sequential()
+    }
+}
+
+/// Per-session operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Writes issued through this session.
+    pub writes: u64,
+    /// Reads issued through this session.
+    pub reads: u64,
+    /// Refreshes issued through this session.
+    pub refreshes: u64,
+}
+
+/// A per-thread handle onto a [`ShardedPcmDevice`].
+///
+/// Sessions route operations without any shared mutable state of their
+/// own, so handing one to each thread gives lock-free *routing* — the
+/// only synchronization is the per-bank lock of the target bank.
+pub struct Session<'d> {
+    dev: &'d ShardedPcmDevice,
+    stats: SessionStats,
+}
+
+impl<'d> Session<'d> {
+    /// The device this session operates on.
+    pub fn device(&self) -> &'d ShardedPcmDevice {
+        self.dev
+    }
+
+    /// Operations issued through this session.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Write 64 bytes to a block.
+    pub fn write_block(&mut self, block: usize, data: &[u8]) -> Result<WriteReport, PcmError> {
+        self.stats.writes += 1;
+        self.dev.write_block(block, data)
+    }
+
+    /// Read 64 bytes from a block.
+    pub fn read_block(&mut self, block: usize) -> Result<ReadReport, PcmError> {
+        self.stats.reads += 1;
+        self.dev.read_block(block)
+    }
+
+    /// Refresh (scrub) one block.
+    pub fn refresh_block(&mut self, block: usize) -> Result<(), PcmError> {
+        self.stats.refreshes += 1;
+        self.dev.refresh_block(block)
+    }
+
+    /// Bulk write; counts as one write per request.
+    pub fn write_batch(
+        &mut self,
+        requests: &[(usize, &[u8])],
+    ) -> Vec<Result<WriteReport, PcmError>> {
+        self.stats.writes += requests.len() as u64;
+        self.dev.write_batch(requests)
+    }
+
+    /// Bulk read; counts as one read per request.
+    pub fn read_batch(&mut self, blocks: &[usize]) -> Vec<Result<ReadReport, PcmError>> {
+        self.stats.reads += blocks.len() as u64;
+        self.dev.read_batch(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DeviceBuilder;
+    use crate::device::CellOrganization;
+    use pcm_core::level::LevelDesign;
+
+    fn builder() -> DeviceBuilder {
+        DeviceBuilder::new()
+            .organization(CellOrganization::ThreeLevel(
+                LevelDesign::three_level_naive(),
+            ))
+            .blocks(32)
+            .banks(8)
+            .seed(1234)
+    }
+
+    #[test]
+    fn matches_sequential_engine_bit_for_bit() {
+        let mut seq = builder().build().unwrap();
+        let sharded = builder().build_sharded().unwrap();
+        for b in 0..32 {
+            let data = vec![(b as u8).wrapping_mul(7); 64];
+            let a = seq.write_block(b, &data).unwrap();
+            let c = sharded.write_block(b, &data).unwrap();
+            assert_eq!(a, c, "write report diverged at block {b}");
+        }
+        seq.advance_time(3600.0);
+        sharded.advance_time(3600.0);
+        for b in 0..32 {
+            assert_eq!(
+                seq.read_block(b).unwrap(),
+                sharded.read_block(b).unwrap(),
+                "read diverged at block {b}"
+            );
+        }
+        assert_eq!(seq.stats(), sharded.stats());
+    }
+
+    #[test]
+    fn batch_paths_match_singles() {
+        let singles = builder().build_sharded().unwrap();
+        let batched = builder().build_sharded().unwrap();
+        let payloads: Vec<Vec<u8>> = (0..32).map(|b| vec![b as u8 ^ 0x99; 64]).collect();
+        for (b, p) in payloads.iter().enumerate() {
+            singles.write_block(b, p).unwrap();
+        }
+        let requests: Vec<(usize, &[u8])> = payloads
+            .iter()
+            .enumerate()
+            .map(|(b, p)| (b, p.as_slice()))
+            .collect();
+        for r in batched.write_batch(&requests) {
+            r.unwrap();
+        }
+        let blocks: Vec<usize> = (0..32).collect();
+        let a = singles.read_batch(&blocks);
+        for (b, r) in batched.read_batch(&blocks).into_iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap(),
+                a[b].as_ref().unwrap(),
+                "batch read diverged at block {b}"
+            );
+        }
+        assert_eq!(singles.stats(), batched.stats());
+    }
+
+    #[test]
+    fn concurrent_writes_scale_across_banks_deterministically() {
+        // Run the same per-bank op streams under 1 thread and 8 threads:
+        // outputs must be identical.
+        let run = |threads: usize| {
+            let dev = builder().build_sharded().unwrap();
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let mut session = dev.session();
+                    s.spawn(move || {
+                        // Thread t owns banks t, t+threads, ... — each
+                        // bank's ops stay on one thread, in order.
+                        for bank in (t..8).step_by(threads) {
+                            for round in 0..4u8 {
+                                for blk in (bank..32).step_by(8) {
+                                    session.write_block(blk, &[round ^ blk as u8; 64]).unwrap();
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            let blocks: Vec<usize> = (0..32).collect();
+            let reads: Vec<Vec<u8>> = dev
+                .read_batch(&blocks)
+                .into_iter()
+                .map(|r| r.unwrap().data)
+                .collect();
+            (reads, dev.stats())
+        };
+        let (data1, stats1) = run(1);
+        let (data8, stats8) = run(8);
+        assert_eq!(data1, data8);
+        assert_eq!(stats1, stats8);
+        assert_eq!(stats1.writes, 128);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error_not_a_panic() {
+        let dev = builder().build_sharded().unwrap();
+        match dev.read_block(99) {
+            Err(PcmError::BlockOutOfRange {
+                block: 99,
+                blocks: 32,
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let res = dev.write_batch(&[(0, &[0u8; 64][..]), (500, &[0u8; 64][..])]);
+        assert!(res[0].is_ok());
+        assert!(matches!(res[1], Err(PcmError::BlockOutOfRange { .. })));
+    }
+
+    #[test]
+    fn clock_is_atomic_and_cumulative() {
+        let dev = builder().build_sharded().unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        dev.advance_time(0.5);
+                    }
+                });
+            }
+        });
+        assert!((dev.now() - 2000.0).abs() < 1e-9, "{}", dev.now());
+    }
+
+    #[test]
+    fn conversions_preserve_state() {
+        let sharded = builder().build_sharded().unwrap();
+        let data = vec![0x5Au8; 64];
+        sharded.write_block(3, &data).unwrap();
+        sharded.advance_time(42.0);
+        let mut seq = sharded.into_sequential();
+        assert_eq!(seq.now(), 42.0);
+        assert_eq!(seq.read_block(3).unwrap().data, data);
+        // And back.
+        let sharded: ShardedPcmDevice = seq.into();
+        assert_eq!(sharded.read_block(3).unwrap().data, data);
+        assert_eq!(sharded.stats().writes, 1);
+    }
+
+    #[test]
+    fn session_counters_track_usage() {
+        let dev = builder().build_sharded().unwrap();
+        let mut s = dev.session();
+        s.write_block(0, &[1u8; 64]).unwrap();
+        s.write_block(1, &[2u8; 64]).unwrap();
+        s.read_block(0).unwrap();
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                writes: 2,
+                reads: 1,
+                refreshes: 0
+            }
+        );
+    }
+}

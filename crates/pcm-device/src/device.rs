@@ -1,4 +1,4 @@
-//! The full PCM device: banks of blocks over a shared cell array, with a
+//! The full PCM device: banks of blocks over per-bank cell arrays, with a
 //! global clock, byte-addressed read/write, wearout injection, and
 //! cumulative statistics.
 //!
@@ -7,12 +7,15 @@
 //! analytically in `pcm_core::retention` — simulating every cell of 16 GiB
 //! is neither necessary nor useful, since blocks are statistically
 //! independent (see DESIGN.md §3).
+//!
+//! The device is a thin orchestration layer over [`PcmBank`] units
+//! (low-order block interleaving, like DDR rank/bank address maps). The
+//! same banks power the lock-sharded concurrent engine in
+//! [`crate::concurrent`]; construction goes through [`DeviceBuilder`].
 
-use crate::array::CellArray;
-use crate::block::{
-    BlockError, FourLevelBlock, ReadReport, ThreeLevelBlock, WriteReport, BLOCK_BYTES,
-    FOUR_LEVEL_BLOCK_CELLS, THREE_LEVEL_BLOCK_CELLS,
-};
+use crate::bank::PcmBank;
+use crate::block::{BlockError, ReadReport, WriteReport, BLOCK_BYTES};
+use crate::builder::DeviceBuilder;
 use crate::generic_block::GenericBlock;
 use pcm_codec::enumerative::EnumerativeCode;
 use pcm_core::level::LevelDesign;
@@ -44,25 +47,19 @@ pub enum CellOrganization {
     },
 }
 
-enum AnyBlock {
-    Three(ThreeLevelBlock),
-    Four(FourLevelBlock),
-    Generic(Box<GenericBlock>),
-}
-
-impl AnyBlock {
-    fn write(&mut self, arr: &mut CellArray, now: f64, data: &[u8]) -> Result<WriteReport, BlockError> {
+impl CellOrganization {
+    /// Physical cells one block of this organization occupies.
+    pub fn cells_per_block(&self) -> usize {
+        use crate::block::{FOUR_LEVEL_BLOCK_CELLS, THREE_LEVEL_BLOCK_CELLS};
         match self {
-            AnyBlock::Three(b) => b.write(arr, now, data),
-            AnyBlock::Four(b) => b.write(arr, now, data),
-            AnyBlock::Generic(b) => b.write(arr, now, data),
-        }
-    }
-    fn read(&self, arr: &CellArray, now: f64) -> Result<ReadReport, BlockError> {
-        match self {
-            AnyBlock::Three(b) => b.read(arr, now),
-            AnyBlock::Four(b) => b.read(arr, now),
-            AnyBlock::Generic(b) => b.read(arr, now),
+            CellOrganization::ThreeLevel(_) => THREE_LEVEL_BLOCK_CELLS,
+            CellOrganization::FourLevel { .. } => FOUR_LEVEL_BLOCK_CELLS,
+            CellOrganization::Generic {
+                design,
+                code,
+                spare_groups,
+                tec_strength,
+            } => GenericBlock::new(design.clone(), *code, 0, *spare_groups, *tec_strength).cells(),
         }
     }
 }
@@ -86,24 +83,53 @@ pub struct DeviceStats {
     pub write_attempts: u64,
 }
 
-/// A functional PCM device.
+impl DeviceStats {
+    /// Fold another stats record into this one (per-bank aggregation).
+    pub fn accumulate(&mut self, other: &DeviceStats) {
+        self.writes += other.writes;
+        self.reads += other.reads;
+        self.corrected_bits += other.corrected_bits;
+        self.uncorrectable_reads += other.uncorrectable_reads;
+        self.wearout_faults += other.wearout_faults;
+        self.refreshes += other.refreshes;
+        self.write_attempts += other.write_attempts;
+    }
+}
+
+/// A functional PCM device (sequential engine).
+///
+/// Construct via [`PcmDevice::builder`]. For many-threaded access, build
+/// the lock-sharded variant with
+/// [`DeviceBuilder::build_sharded`](crate::builder::DeviceBuilder::build_sharded);
+/// both engines produce bit-identical results for the same seed and
+/// per-bank operation order.
 pub struct PcmDevice {
-    array: CellArray,
-    blocks: Vec<AnyBlock>,
-    banks: usize,
+    banks: Vec<PcmBank>,
     now: f64,
-    stats: DeviceStats,
 }
 
 impl PcmDevice {
-    /// Build a device with `blocks` 64-byte blocks across `banks` banks
-    /// and the standard MLC endurance model.
-    pub fn new(org: CellOrganization, blocks: usize, banks: usize, seed: u64) -> Self {
-        Self::with_endurance(org, blocks, banks, seed, EnduranceModel::mlc())
+    /// Start configuring a device.
+    pub fn builder() -> DeviceBuilder {
+        DeviceBuilder::new()
     }
 
-    /// Like [`Self::new`] with an explicit endurance model (accelerated-
-    /// wear studies, SLC-mode devices).
+    /// Build a device with `blocks` 64-byte blocks across `banks` banks
+    /// and the standard MLC endurance model.
+    ///
+    /// Panics on invalid geometry — prefer [`PcmDevice::builder`], which
+    /// reports [`crate::ConfigError`] instead.
+    #[deprecated(since = "0.2.0", note = "use PcmDevice::builder()")]
+    pub fn new(org: CellOrganization, blocks: usize, banks: usize, seed: u64) -> Self {
+        Self::from_legacy_args(org, blocks, banks, seed, EnduranceModel::mlc())
+    }
+
+    /// Like `new` with an explicit endurance model (accelerated-wear
+    /// studies, SLC-mode devices).
+    ///
+    /// Panics on invalid geometry — prefer [`PcmDevice::builder`], which
+    /// reports [`crate::ConfigError`] instead.
+    #[deprecated(since = "0.2.0", note = "use PcmDevice::builder().endurance(..)")]
     pub fn with_endurance(
         org: CellOrganization,
         blocks: usize,
@@ -111,75 +137,53 @@ impl PcmDevice {
         seed: u64,
         endurance: EnduranceModel,
     ) -> Self {
-        assert!(blocks >= 1 && banks >= 1 && blocks.is_multiple_of(banks));
-        let cells_per_block = match &org {
-            CellOrganization::ThreeLevel(_) => THREE_LEVEL_BLOCK_CELLS,
-            CellOrganization::FourLevel { .. } => FOUR_LEVEL_BLOCK_CELLS,
-            CellOrganization::Generic {
-                design,
-                code,
-                spare_groups,
-                tec_strength,
-            } => GenericBlock::new(
-                design.clone(),
-                *code,
-                0,
-                *spare_groups,
-                *tec_strength,
-            )
-            .cells(),
-        };
-        let array = CellArray::new(blocks * cells_per_block, endurance, seed);
-        let blocks_vec = (0..blocks)
-            .map(|b| match &org {
-                CellOrganization::ThreeLevel(d) => {
-                    AnyBlock::Three(ThreeLevelBlock::new(d.clone(), b * cells_per_block))
-                }
-                CellOrganization::FourLevel { design, smart } => AnyBlock::Four(
-                    FourLevelBlock::new(design.clone(), b * cells_per_block, *smart),
-                ),
-                CellOrganization::Generic {
-                    design,
-                    code,
-                    spare_groups,
-                    tec_strength,
-                } => AnyBlock::Generic(Box::new(GenericBlock::new(
-                    design.clone(),
-                    *code,
-                    b * cells_per_block,
-                    *spare_groups,
-                    *tec_strength,
-                ))),
-            })
-            .collect();
-        Self {
-            array,
-            blocks: blocks_vec,
-            banks,
-            now: 0.0,
-            stats: DeviceStats::default(),
-        }
+        Self::from_legacy_args(org, blocks, banks, seed, endurance)
+    }
+
+    fn from_legacy_args(
+        org: CellOrganization,
+        blocks: usize,
+        banks: usize,
+        seed: u64,
+        endurance: EnduranceModel,
+    ) -> Self {
+        DeviceBuilder::new()
+            .organization(org)
+            .blocks(blocks)
+            .banks(banks)
+            .seed(seed)
+            .endurance(endurance)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid device geometry: {e}"))
+    }
+
+    pub(crate) fn from_banks(banks: Vec<PcmBank>, now: f64) -> Self {
+        Self { banks, now }
+    }
+
+    pub(crate) fn into_banks(self) -> (Vec<PcmBank>, f64) {
+        (self.banks, self.now)
     }
 
     /// Capacity in bytes.
     pub fn capacity_bytes(&self) -> usize {
-        self.blocks.len() * BLOCK_BYTES
+        self.blocks() * BLOCK_BYTES
     }
 
     /// Number of blocks.
     pub fn blocks(&self) -> usize {
-        self.blocks.len()
+        self.banks.iter().map(PcmBank::blocks).sum()
     }
 
     /// Number of banks.
     pub fn banks(&self) -> usize {
-        self.banks
+        self.banks.len()
     }
 
     /// Bank owning a block (low-order interleaving, like DDR rank/bank
     /// address maps).
     pub fn bank_of(&self, block: usize) -> usize {
-        block % self.banks
+        block % self.banks.len()
     }
 
     /// Current device time, seconds.
@@ -193,48 +197,56 @@ impl PcmDevice {
         self.now += secs;
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics, aggregated across banks.
     pub fn stats(&self) -> DeviceStats {
-        self.stats
+        let mut total = DeviceStats::default();
+        for b in &self.banks {
+            total.accumulate(&b.stats());
+        }
+        total
+    }
+
+    /// Per-bank statistics, indexed by bank id.
+    pub fn bank_stats(&self) -> Vec<DeviceStats> {
+        self.banks.iter().map(PcmBank::stats).collect()
+    }
+
+    fn locate(&self, block: usize) -> (usize, usize) {
+        (block % self.banks.len(), block / self.banks.len())
     }
 
     /// Write 64 bytes to a block.
     pub fn write_block(&mut self, block: usize, data: &[u8]) -> Result<WriteReport, BlockError> {
-        let r = self.blocks[block].write(&mut self.array, self.now, data);
-        if let Ok(rep) = &r {
-            self.stats.writes += 1;
-            self.stats.wearout_faults += rep.new_faults as u64;
-            self.stats.write_attempts += rep.attempts;
-        }
-        r
+        let (bank, local) = self.locate(block);
+        let now = self.now;
+        self.banks[bank].write(local, now, data)
     }
 
     /// Read 64 bytes from a block.
     pub fn read_block(&mut self, block: usize) -> Result<ReadReport, BlockError> {
-        let r = self.blocks[block].read(&self.array, self.now);
-        match &r {
-            Ok(rep) => {
-                self.stats.reads += 1;
-                self.stats.corrected_bits += rep.corrected_bits as u64;
-            }
-            Err(_) => self.stats.uncorrectable_reads += 1,
-        }
-        r
+        let (bank, local) = self.locate(block);
+        let now = self.now;
+        self.banks[bank].read(local, now)
     }
 
     /// Refresh (scrub) one block: read, correct, rewrite — the §1
     /// mechanism ("for every cell, at least once per refresh period, we
     /// read, correct if needed, and re-write").
     pub fn refresh_block(&mut self, block: usize) -> Result<(), BlockError> {
-        let data = self.blocks[block].read(&self.array, self.now)?.data;
-        self.blocks[block].write(&mut self.array, self.now, &data)?;
-        self.stats.refreshes += 1;
-        Ok(())
+        let (bank, local) = self.locate(block);
+        let now = self.now;
+        self.banks[bank].refresh(local, now)
     }
 
-    /// Fault-injection hook: force a cell's lifetime.
+    /// Fault-injection hook: force a cell's lifetime. Cell indices use the
+    /// device-wide layout (block-major: block `b` owns cells
+    /// `[b*cells_per_block, (b+1)*cells_per_block)`).
     pub fn inject_lifetime(&mut self, cell: usize, cycles: u64) {
-        self.array.set_lifetime(cell, cycles);
+        let cpb = self.banks[0].cells_per_block();
+        let block = cell / cpb;
+        let within = cell % cpb;
+        let (bank, local_block) = self.locate(block);
+        self.banks[bank].set_lifetime(local_block * cpb + within, cycles);
     }
 }
 
@@ -243,12 +255,15 @@ mod tests {
     use super::*;
 
     fn three_level_device(blocks: usize) -> PcmDevice {
-        PcmDevice::new(
-            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-            blocks,
-            4,
-            77,
-        )
+        PcmDevice::builder()
+            .organization(CellOrganization::ThreeLevel(
+                LevelDesign::three_level_naive(),
+            ))
+            .blocks(blocks)
+            .banks(4)
+            .seed(77)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -278,15 +293,16 @@ mod tests {
 
     #[test]
     fn refresh_restores_margins_on_4lc() {
-        let mut dev = PcmDevice::new(
-            CellOrganization::FourLevel {
+        let mut dev = PcmDevice::builder()
+            .organization(CellOrganization::FourLevel {
                 design: pcm_core::optimize::four_level_optimal().clone(),
                 smart: true,
-            },
-            8,
-            4,
-            5,
-        );
+            })
+            .blocks(8)
+            .banks(4)
+            .seed(5)
+            .build()
+            .unwrap();
         let data: Vec<u8> = (0..64).map(|i| i as u8 ^ 0x5A).collect();
         dev.write_block(0, &data).unwrap();
         // Refresh every 17 minutes for a simulated day: data must hold.
@@ -301,15 +317,16 @@ mod tests {
 
     #[test]
     fn unrefreshed_4lcn_dies_within_a_day() {
-        let mut dev = PcmDevice::new(
-            CellOrganization::FourLevel {
+        let mut dev = PcmDevice::builder()
+            .organization(CellOrganization::FourLevel {
                 design: LevelDesign::four_level_naive(),
                 smart: false,
-            },
-            4,
-            4,
-            11,
-        );
+            })
+            .blocks(4)
+            .banks(4)
+            .seed(11)
+            .build()
+            .unwrap();
         let data = vec![0x77u8; 64];
         dev.write_block(0, &data).unwrap();
         dev.advance_time(86_400.0);
@@ -318,7 +335,10 @@ mod tests {
             Ok(r) => assert_ne!(r.data, data),
             Err(e) => panic!("unexpected {e}"),
         }
-        assert_eq!(dev.stats().uncorrectable_reads + u64::from(dev.stats().reads > 0), 1);
+        assert_eq!(
+            dev.stats().uncorrectable_reads + u64::from(dev.stats().reads > 0),
+            1
+        );
     }
 
     #[test]
@@ -333,17 +353,18 @@ mod tests {
     fn generic_organization_works_device_wide() {
         use pcm_codec::enumerative::EnumerativeCode;
         // A ternary generic device must behave like the dedicated 3LC one.
-        let mut dev = PcmDevice::new(
-            CellOrganization::Generic {
+        let mut dev = PcmDevice::builder()
+            .organization(CellOrganization::Generic {
                 design: LevelDesign::three_level_naive(),
                 code: EnumerativeCode::new(3, 2),
                 spare_groups: 6,
                 tec_strength: 1,
-            },
-            8,
-            4,
-            21,
-        );
+            })
+            .blocks(8)
+            .banks(4)
+            .seed(21)
+            .build()
+            .unwrap();
         let pat = |b: usize| vec![(b as u8).wrapping_mul(41) ^ 0x69; 64];
         for b in 0..8 {
             dev.write_block(b, &pat(b)).unwrap();
@@ -368,5 +389,42 @@ mod tests {
         assert_eq!(s.writes, 10);
         // 364 cells per write, ~1.006 attempts each.
         assert!(s.write_attempts >= 3640, "{}", s.write_attempts);
+    }
+
+    #[test]
+    fn per_bank_stats_sum_to_device_stats() {
+        let mut dev = three_level_device(16);
+        let data = vec![0x42u8; 64];
+        for b in 0..16 {
+            dev.write_block(b, &data).unwrap();
+        }
+        for b in 0..8 {
+            dev.read_block(b).unwrap();
+        }
+        let per_bank = dev.bank_stats();
+        assert_eq!(per_bank.len(), 4);
+        let mut sum = DeviceStats::default();
+        for s in &per_bank {
+            sum.accumulate(s);
+        }
+        assert_eq!(sum, dev.stats());
+        // Low-order interleaving spreads 16 blocks evenly over 4 banks.
+        for s in &per_bank {
+            assert_eq!(s.writes, 4);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructors_still_work() {
+        let mut dev = PcmDevice::new(
+            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
+            8,
+            4,
+            77,
+        );
+        let data = vec![0x11u8; 64];
+        dev.write_block(0, &data).unwrap();
+        assert_eq!(dev.read_block(0).unwrap().data, data);
     }
 }

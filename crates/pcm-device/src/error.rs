@@ -1,0 +1,86 @@
+//! The workspace-wide device error type.
+//!
+//! [`PcmError`] wraps the layer-specific errors ([`BlockError`],
+//! [`ConfigError`], out-of-range addressing) behind one
+//! `std::error::Error` implementation, so callers match on a single
+//! `#[non_exhaustive]` enum instead of per-layer types — and new failure
+//! classes can be added without breaking downstream matches.
+
+use crate::block::BlockError;
+use crate::builder::ConfigError;
+
+/// Any error a PCM device operation can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PcmError {
+    /// A block datapath failure (uncorrectable read, exhausted wearout
+    /// tolerance, unverifiable write).
+    Block(BlockError),
+    /// A rejected device configuration.
+    Config(ConfigError),
+    /// A block address outside the device.
+    BlockOutOfRange {
+        /// The requested block.
+        block: usize,
+        /// The device's block count.
+        blocks: usize,
+    },
+}
+
+impl std::fmt::Display for PcmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcmError::Block(e) => write!(f, "block datapath error: {e}"),
+            PcmError::Config(e) => write!(f, "device configuration error: {e}"),
+            PcmError::BlockOutOfRange { block, blocks } => {
+                write!(f, "block {block} out of range (device has {blocks} blocks)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PcmError::Block(e) => Some(e),
+            PcmError::Config(e) => Some(e),
+            PcmError::BlockOutOfRange { .. } => None,
+        }
+    }
+}
+
+impl From<BlockError> for PcmError {
+    fn from(e: BlockError) -> Self {
+        PcmError::Block(e)
+    }
+}
+
+impl From<ConfigError> for PcmError {
+    fn from(e: ConfigError) -> Self {
+        PcmError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_and_sources() {
+        let e: PcmError = BlockError::Uncorrectable.into();
+        assert!(e.to_string().contains("uncorrectable"));
+        assert!(e.source().is_some());
+
+        let e: PcmError = ConfigError::ZeroBanks.into();
+        assert!(matches!(e, PcmError::Config(_)));
+        assert!(e.source().is_some());
+
+        let e = PcmError::BlockOutOfRange {
+            block: 99,
+            blocks: 16,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(e.source().is_none());
+    }
+}

@@ -77,8 +77,8 @@ impl GenericBlock {
             "marker-based wearout tolerance needs a spare codeword"
         );
         let data_groups = (512usize).div_ceil(code.bits_per_group());
-        let bits_per_cell_tec = usize::BITS as usize
-            - (design.n_levels() - 1).leading_zeros() as usize;
+        let bits_per_cell_tec =
+            usize::BITS as usize - (design.n_levels() - 1).leading_zeros() as usize;
         let bch = Bch::new(10, tec_strength);
         let message_bits =
             (data_groups + spare_groups) * code.symbols_per_group() * bits_per_cell_tec;
@@ -420,13 +420,7 @@ mod tests {
         // The generalized block instantiated at K=3, m=2, BCH-1 must use
         // exactly the paper's 354 + 10 cells.
         let code = EnumerativeCode::new(3, 2);
-        let blk = GenericBlock::new(
-            LevelDesign::three_level_naive(),
-            code,
-            0,
-            6,
-            1,
-        );
+        let blk = GenericBlock::new(LevelDesign::three_level_naive(), code, 0, 6, 1);
         assert_eq!(blk.mlc_cells(), (171 + 6) * 2);
         assert_eq!(blk.cells(), 354 + 10);
         assert!((blk.density() - 512.0 / 364.0).abs() < 1e-12);

@@ -16,28 +16,57 @@
 //! use pcm_device::{CellOrganization, PcmDevice};
 //! use pcm_core::level::LevelDesign;
 //!
-//! let mut dev = PcmDevice::new(
-//!     CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-//!     16, 4, 42,
-//! );
+//! let mut dev = PcmDevice::builder()
+//!     .organization(CellOrganization::ThreeLevel(LevelDesign::three_level_naive()))
+//!     .blocks(16)
+//!     .banks(4)
+//!     .seed(42)
+//!     .build()
+//!     .unwrap();
 //! dev.write_block(0, &[0xA5; 64]).unwrap();
 //! dev.advance_time(10.0 * 365.25 * 86_400.0);   // ten years, no power
 //! assert_eq!(dev.read_block(0).unwrap().data, vec![0xA5; 64]);
+//! ```
+//!
+//! For many-threaded workloads, [`DeviceBuilder::build_sharded`] yields
+//! the bank-sharded [`concurrent::ShardedPcmDevice`] — bit-identical to
+//! the sequential engine for the same seed (see the [`concurrent`]
+//! module docs for the determinism rule):
+//!
+//! ```
+//! use pcm_device::DeviceBuilder;
+//!
+//! let dev = DeviceBuilder::new().blocks(64).banks(8).build_sharded().unwrap();
+//! std::thread::scope(|s| {
+//!     for t in 0..4u8 {
+//!         let mut session = dev.session();
+//!         s.spawn(move || session.write_block(t as usize, &[t; 64]).unwrap());
+//!     }
+//! });
+//! assert_eq!(dev.stats().writes, 4);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod bank;
 pub mod block;
+pub mod builder;
+pub mod concurrent;
 pub mod device;
+pub mod error;
 pub mod generic_block;
 pub mod refresh;
 pub mod remap;
 pub mod wear_level;
 
 pub use array::{CellArray, ProgramOutcome};
+pub use bank::PcmBank;
 pub use block::{BlockError, FourLevelBlock, ReadReport, ThreeLevelBlock, WriteReport};
+pub use builder::{ConfigError, DeviceBuilder};
+pub use concurrent::{Session, SessionStats, ShardedPcmDevice};
 pub use device::{CellOrganization, DeviceStats, PcmDevice};
+pub use error::PcmError;
 pub use generic_block::GenericBlock;
 pub use refresh::{RefreshController, RefreshReport};
 pub use remap::RemappedDevice;

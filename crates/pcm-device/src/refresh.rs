@@ -83,15 +83,16 @@ mod tests {
     use pcm_core::level::LevelDesign;
 
     fn device_4lc(blocks: usize) -> PcmDevice {
-        PcmDevice::new(
-            CellOrganization::FourLevel {
+        PcmDevice::builder()
+            .organization(CellOrganization::FourLevel {
                 design: pcm_core::optimize::four_level_optimal().clone(),
                 smart: false,
-            },
-            blocks,
-            4,
-            123,
-        )
+            })
+            .blocks(blocks)
+            .banks(4)
+            .seed(123)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -136,15 +137,16 @@ mod tests {
         // BCH-10. (The *optimized* design fails more slowly: its 17-minute
         // interval is set by the fleet-wide 3.73e-9 BLER target, not by
         // single-block day-scale loss.)
-        let mut dev = PcmDevice::new(
-            CellOrganization::FourLevel {
+        let mut dev = PcmDevice::builder()
+            .organization(CellOrganization::FourLevel {
                 design: LevelDesign::four_level_naive(),
                 smart: false,
-            },
-            8,
-            4,
-            31,
-        );
+            })
+            .blocks(8)
+            .banks(4)
+            .seed(31)
+            .build()
+            .unwrap();
         let data: Vec<u8> = (0..64).map(|i| i as u8).collect();
         for b in 0..8 {
             dev.write_block(b, &data).unwrap();
@@ -158,7 +160,10 @@ mod tests {
                 Ok(_) => {}
             }
         }
-        assert!(dead > 0, "an unrefreshed 4LCn device must lose blocks in two days");
+        assert!(
+            dead > 0,
+            "an unrefreshed 4LCn device must lose blocks in two days"
+        );
     }
 
     #[test]
@@ -172,15 +177,16 @@ mod tests {
 
     #[test]
     fn refresh_failures_are_reported_not_panicked() {
-        let mut dev = PcmDevice::new(
-            CellOrganization::FourLevel {
+        let mut dev = PcmDevice::builder()
+            .organization(CellOrganization::FourLevel {
                 design: LevelDesign::four_level_naive(),
                 smart: false,
-            },
-            4,
-            4,
-            9,
-        );
+            })
+            .blocks(4)
+            .banks(4)
+            .seed(9)
+            .build()
+            .unwrap();
         let data = vec![0xE7u8; 64];
         for b in 0..4 {
             dev.write_block(b, &data).unwrap();
@@ -189,6 +195,9 @@ mod tests {
         dev.advance_time(86_400.0);
         let mut ctl = RefreshController::new(86_400.0);
         let rep = ctl.run_until(&mut dev, 86_400.0);
-        assert!(rep.failures > 0, "scrubbing a rotten 4LCn device must fail: {rep:?}");
+        assert!(
+            rep.failures > 0,
+            "scrubbing a rotten 4LCn device must fail: {rep:?}"
+        );
     }
 }

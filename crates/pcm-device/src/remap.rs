@@ -102,7 +102,9 @@ impl RemappedDevice {
     pub fn read_block(&mut self, block: usize) -> Result<ReadReport, RemapError> {
         assert!(block < self.logical_blocks);
         let pa = self.resolve(block);
-        self.device.read_block(pa).map_err(RemapError::Unrecoverable)
+        self.device
+            .read_block(pa)
+            .map_err(RemapError::Unrecoverable)
     }
 
     /// Write a logical block; on wearout exhaustion the block is retired
@@ -122,9 +124,7 @@ impl RemappedDevice {
                     self.forward.insert(pa, replacement);
                     // Loop: retry the write on the replacement.
                 }
-                Err(e @ BlockError::Uncorrectable) => {
-                    return Err(RemapError::Unrecoverable(e))
-                }
+                Err(e @ BlockError::Uncorrectable) => return Err(RemapError::Unrecoverable(e)),
             }
         }
     }
@@ -137,12 +137,15 @@ mod tests {
     use pcm_core::level::LevelDesign;
 
     fn device(blocks: usize, seed: u64) -> PcmDevice {
-        PcmDevice::new(
-            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-            blocks,
-            1,
-            seed,
-        )
+        PcmDevice::builder()
+            .organization(CellOrganization::ThreeLevel(
+                LevelDesign::three_level_naive(),
+            ))
+            .blocks(blocks)
+            .banks(1)
+            .seed(seed)
+            .build()
+            .unwrap()
     }
 
     fn kill_block_pairs(dev: &mut PcmDevice, block: usize, pairs: usize) {
@@ -176,7 +179,8 @@ mod tests {
         assert_eq!(dev.reserve_left(), 3);
         assert_eq!(dev.read_block(3).unwrap().data, data);
         // Ten years later the forwarded data is still there.
-        dev.device_mut().advance_time(pcm_core::params::TEN_YEARS_SECS);
+        dev.device_mut()
+            .advance_time(pcm_core::params::TEN_YEARS_SECS);
         assert_eq!(dev.read_block(3).unwrap().data, data);
     }
 

@@ -95,10 +95,7 @@ impl StartGap {
         }
         self.writes_since_move = 0;
         let from = if self.gap == 0 { self.n } else { self.gap - 1 };
-        Some(GapMove {
-            from,
-            to: self.gap,
-        })
+        Some(GapMove { from, to: self.gap })
     }
 
     /// Advance the gap after the caller performed the copy.
@@ -235,21 +232,23 @@ mod tests {
     }
 
     fn leveled_device(psi: u32) -> WearLeveledDevice {
-        let dev = PcmDevice::new(
-            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-            9,
-            3,
-            7,
-        );
+        let dev = PcmDevice::builder()
+            .organization(CellOrganization::ThreeLevel(
+                LevelDesign::three_level_naive(),
+            ))
+            .blocks(9)
+            .banks(3)
+            .seed(7)
+            .build()
+            .unwrap();
         WearLeveledDevice::new(dev, 8, psi)
     }
 
     #[test]
     fn data_survives_gap_rotation() {
         let mut dev = leveled_device(2);
-        let pattern = |b: usize, v: u8| -> Vec<u8> {
-            (0..64).map(|i| (b * 64 + i) as u8 ^ v).collect()
-        };
+        let pattern =
+            |b: usize, v: u8| -> Vec<u8> { (0..64).map(|i| (b * 64 + i) as u8 ^ v).collect() };
         for b in 0..8 {
             dev.write_block(b, &pattern(b, 0x11)).unwrap();
         }
@@ -260,7 +259,11 @@ mod tests {
         assert!(dev.leveler().gap_moves() > 18, "gap must have lapped");
         assert_eq!(dev.read_block(3).unwrap().data, pattern(3, 119));
         for b in [0usize, 1, 2, 4, 5, 6, 7] {
-            assert_eq!(dev.read_block(b).unwrap().data, pattern(b, 0x11), "block {b}");
+            assert_eq!(
+                dev.read_block(b).unwrap().data,
+                pattern(b, 0x11),
+                "block {b}"
+            );
         }
     }
 

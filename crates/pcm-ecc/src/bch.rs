@@ -315,20 +315,20 @@ mod tests {
         let data = pseudo_data(512, 2);
         let parity = bch.encode(&data);
         let pb = bch.parity_bits(); // 50 for t=5, m=10
-        // Error patterns spanning data, parity, and the boundary.
+                                    // Error patterns spanning data, parity, and the boundary.
         let patterns: Vec<Vec<usize>> = vec![
             vec![0],
-            vec![pb - 1],              // last parity bit
-            vec![pb],                  // first data bit
-            vec![pb + 511],            // last data bit
+            vec![pb - 1],   // last parity bit
+            vec![pb],       // first data bit
+            vec![pb + 511], // last data bit
             vec![3, pb - 1, pb, pb + 156],
-            vec![0, 1, 2, 3, 4],       // exactly t errors
+            vec![0, 1, 2, 3, 4], // exactly t errors
         ];
         for flips in &patterns {
             let (mut d, mut p) = noisy(&data, &parity, flips);
-            let n = bch.decode(&mut d, &mut p).unwrap_or_else(|e| {
-                panic!("pattern {flips:?} failed: {e}")
-            });
+            let n = bch
+                .decode(&mut d, &mut p)
+                .unwrap_or_else(|e| panic!("pattern {flips:?} failed: {e}"));
             assert_eq!(n, flips.len());
             assert_eq!(d, data, "pattern {flips:?}");
         }
@@ -373,7 +373,10 @@ mod tests {
                 Ok(_) => {} // miscorrection to a valid codeword is allowed by BCH theory
             }
         }
-        assert!(failures >= 10, "most 2t patterns should be detected, got {failures}");
+        assert!(
+            failures >= 10,
+            "most 2t patterns should be detected, got {failures}"
+        );
     }
 
     #[test]
@@ -393,7 +396,12 @@ mod tests {
 
     #[test]
     fn works_across_field_sizes() {
-        for (m, t, len) in [(6u32, 2usize, 40usize), (8, 3, 150), (11, 4, 1000), (13, 6, 4000)] {
+        for (m, t, len) in [
+            (6u32, 2usize, 40usize),
+            (8, 3, 150),
+            (11, 4, 1000),
+            (13, 6, 4000),
+        ] {
             let bch = Bch::new(m, t);
             assert!(bch.max_data_bits() >= len, "m={m} t={t}");
             let data = pseudo_data(len, m as u64);

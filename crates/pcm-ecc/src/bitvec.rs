@@ -35,7 +35,11 @@ impl BitVec {
     /// Build from bytes, LSB-first within each byte, taking exactly `len`
     /// bits (`len <= bytes.len() * 8`).
     pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
-        assert!(len <= bytes.len() * 8, "len {len} > {} bits", bytes.len() * 8);
+        assert!(
+            len <= bytes.len() * 8,
+            "len {len} > {} bits",
+            bytes.len() * 8
+        );
         let mut v = Self::zeros(len);
         for i in 0..len {
             if bytes[i / 8] >> (i % 8) & 1 == 1 {

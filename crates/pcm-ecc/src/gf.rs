@@ -131,7 +131,10 @@ mod tests {
             let mut seen = vec![false; (gf.order() + 1) as usize];
             for e in 0..gf.order() as u64 {
                 let v = gf.alpha_pow(e);
-                assert!(v != 0 && !seen[v as usize], "GF(2^{m}) not primitive at e={e}");
+                assert!(
+                    v != 0 && !seen[v as usize],
+                    "GF(2^{m}) not primitive at e={e}"
+                );
                 seen[v as usize] = true;
             }
         }

@@ -209,7 +209,11 @@ mod tests {
             let mut d = data.clone();
             let mut c = checks.clone();
             d.toggle(flip);
-            assert_eq!(h.decode(&mut d, &mut c), HammingOutcome::Corrected, "flip {flip}");
+            assert_eq!(
+                h.decode(&mut d, &mut c),
+                HammingOutcome::Corrected,
+                "flip {flip}"
+            );
             assert_eq!(d, data, "flip {flip}");
         }
     }
@@ -223,7 +227,11 @@ mod tests {
             let mut d = data.clone();
             let mut c = checks.clone();
             c.toggle(flip);
-            assert_eq!(h.decode(&mut d, &mut c), HammingOutcome::Corrected, "flip {flip}");
+            assert_eq!(
+                h.decode(&mut d, &mut c),
+                HammingOutcome::Corrected,
+                "flip {flip}"
+            );
             assert_eq!(d, data);
         }
     }

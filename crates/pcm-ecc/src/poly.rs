@@ -159,7 +159,9 @@ impl BinPoly {
 
     /// Coefficient of x^i.
     pub fn coeff(&self, i: usize) -> bool {
-        self.words.get(i / 64).is_some_and(|w| w >> (i % 64) & 1 == 1)
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w >> (i % 64) & 1 == 1)
     }
 
     /// Degree; 0 for the zero polynomial.

@@ -68,8 +68,7 @@ impl SimParams {
 
     /// Fraction of the device's write-token bandwidth consumed by refresh.
     pub fn refresh_write_share(&self) -> f64 {
-        let tokens_per_sec =
-            self.writes_per_window as f64 / (self.write_window_ns * 1e-9);
+        let tokens_per_sec = self.writes_per_window as f64 / (self.write_window_ns * 1e-9);
         self.refresh_ops_per_sec() / tokens_per_sec
     }
 }

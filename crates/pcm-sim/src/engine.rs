@@ -18,8 +18,9 @@ use std::collections::VecDeque;
 pub struct SimResult {
     /// Design point simulated.
     pub design: DesignPoint,
-    /// Workload name.
-    pub workload: &'static str,
+    /// Workload name. Owned, so user-defined trace files can label their
+    /// results (not just the built-in `&'static` profile names).
+    pub workload: String,
     /// Instructions retired.
     pub instructions: u64,
     /// Demand reads serviced.
@@ -92,7 +93,7 @@ pub fn simulate_ops(
     energy: &EnergyModel,
     design: DesignPoint,
     trace: impl IntoIterator<Item = crate::workload::MemOp>,
-    label: &'static str,
+    label: impl Into<String>,
     instructions: u64,
     mlp: usize,
 ) -> SimResult {
@@ -199,7 +200,7 @@ pub fn simulate_ops(
 
     SimResult {
         design,
-        workload: label,
+        workload: label.into(),
         instructions,
         reads,
         writes,
@@ -301,7 +302,11 @@ mod tests {
         let params = SimParams::default();
         let expected = r.exec_time_ns * 1e-9 * params.refresh_ops_per_sec();
         let ratio = r.refreshes as f64 / expected;
-        assert!((0.95..1.05).contains(&ratio), "refreshes {} vs {expected}", r.refreshes);
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "refreshes {} vs {expected}",
+            r.refreshes
+        );
     }
 
     #[test]
@@ -323,7 +328,10 @@ mod tests {
         let speedup = r.exec_time_ns / t.exec_time_ns;
         let power_ratio = t.avg_power_w() / r.avg_power_w();
         assert!(speedup > 1.2, "speedup {speedup}");
-        assert!(power_ratio < speedup, "power {power_ratio} vs speedup {speedup}");
+        assert!(
+            power_ratio < speedup,
+            "power {power_ratio} vs speedup {speedup}"
+        );
     }
 
     #[test]

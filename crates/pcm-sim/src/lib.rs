@@ -14,6 +14,8 @@
 //!   plus ECC adders, 1 µs writes, the four-write-window (40 MB/s), and
 //!   per-bank refresh interference.
 //! * [`report`] — the Figure 16 matrix and headline summaries.
+//! * [`parallel`] — the concurrent backend: the same matrix fanned out
+//!   across OS threads, bit-identical to the sequential run.
 //!
 //! ```
 //! use pcm_sim::config::{DesignPoint, EnergyModel, SimParams};
@@ -32,12 +34,14 @@
 
 pub mod config;
 pub mod engine;
+pub mod parallel;
 pub mod report;
 pub mod trace_file;
 pub mod workload;
 
 pub use config::{DesignPoint, EnergyModel, SimParams};
 pub use engine::{simulate, simulate_ops, SimResult};
-pub use trace_file::{FileTrace, TraceParseError};
+pub use parallel::{figure16_parallel, simulate_matrix};
 pub use report::{figure16, summary_gains, Figure16Bar};
+pub use trace_file::{FileTrace, TraceParseError};
 pub use workload::{AccessPattern, MemOp, TraceGenerator, WorkloadProfile};

@@ -1,0 +1,140 @@
+//! Concurrent simulation backend.
+//!
+//! [`simulate`](crate::engine::simulate()) is a pure function of its
+//! arguments — each (design, workload) cell of the Figure 16 matrix is
+//! independent — so the matrix fans out across OS threads with no
+//! synchronization beyond joining. Results are written back by cell
+//! index, which makes the output bit-identical to the sequential
+//! [`figure16`](crate::report::figure16) regardless of thread count or
+//! scheduling.
+
+use crate::config::{DesignPoint, EnergyModel, SimParams};
+use crate::engine::{simulate, SimResult};
+use crate::report::Figure16Bar;
+use crate::workload::WorkloadProfile;
+use std::sync::Mutex;
+
+/// Run a list of (design, workload) jobs across `threads` OS threads.
+///
+/// Job `i` of the output corresponds to job `i` of the input; the
+/// results are identical to calling [`simulate`] on each job in order.
+pub fn simulate_matrix(
+    params: &SimParams,
+    energy: &EnergyModel,
+    jobs: &[(DesignPoint, WorkloadProfile)],
+    instructions: u64,
+    seed: u64,
+    threads: usize,
+) -> Vec<SimResult> {
+    assert!(threads >= 1, "need at least one worker thread");
+    let mut out: Vec<Option<SimResult>> = Vec::new();
+    out.resize_with(jobs.len(), || None);
+    let next = Mutex::new(0usize);
+    let slots = Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = {
+                    let mut n = next.lock().unwrap();
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                let Some(&(design, profile)) = jobs.get(i) else {
+                    break;
+                };
+                let r = simulate(params, energy, design, profile, instructions, seed);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("every job ran")).collect()
+}
+
+/// Concurrent [`figure16`](crate::report::figure16): the full
+/// 6-workload × 4-design matrix, fanned out over `threads` threads.
+///
+/// Produces exactly the same bars (same order, same floating-point
+/// values) as the sequential version — `simulate` is deterministic, so
+/// the baseline run each bar normalizes against is recomputed from the
+/// matrix's own 4LC-REF cell instead of a separate serial pass.
+pub fn figure16_parallel(
+    params: &SimParams,
+    energy: &EnergyModel,
+    instructions: u64,
+    seed: u64,
+    threads: usize,
+) -> Vec<Figure16Bar> {
+    let profiles = WorkloadProfile::figure16_suite();
+    let mut jobs: Vec<(DesignPoint, WorkloadProfile)> = Vec::new();
+    for profile in &profiles {
+        for design in DesignPoint::ALL {
+            jobs.push((design, *profile));
+        }
+    }
+    let raws = simulate_matrix(params, energy, &jobs, instructions, seed, threads);
+
+    let mut bars = Vec::with_capacity(jobs.len());
+    for (chunk_idx, profile) in profiles.iter().enumerate() {
+        let chunk = &raws[chunk_idx * DesignPoint::ALL.len()..][..DesignPoint::ALL.len()];
+        let baseline = chunk
+            .iter()
+            .find(|r| r.design == DesignPoint::FourLcRef)
+            .expect("matrix contains the 4LC-REF baseline");
+        let base_energy = baseline.total_energy_nj();
+        let base_power = baseline.avg_power_w();
+        for raw in chunk {
+            bars.push(Figure16Bar {
+                workload: profile.name.to_string(),
+                design: raw.design,
+                norm_exec_time: raw.exec_time_ns / baseline.exec_time_ns,
+                norm_energy: raw.total_energy_nj() / base_energy,
+                norm_power: raw.avg_power_w() / base_power,
+                energy_breakdown: [
+                    raw.read_energy_nj / base_energy,
+                    raw.write_energy_nj / base_energy,
+                    raw.refresh_energy_nj / base_energy,
+                    raw.static_energy_nj / base_energy,
+                ],
+                raw: raw.clone(),
+            });
+        }
+    }
+    bars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::figure16;
+
+    #[test]
+    fn parallel_matrix_matches_sequential_bit_for_bit() {
+        let p = SimParams::default();
+        let e = EnergyModel::default();
+        let sequential = figure16(&p, &e, 200_000, 11);
+        for threads in [1, 3, 8] {
+            let parallel = figure16_parallel(&p, &e, 200_000, 11, threads);
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn simulate_matrix_preserves_job_order() {
+        let p = SimParams::default();
+        let e = EnergyModel::default();
+        let stream = WorkloadProfile::by_name("STREAM").unwrap();
+        let namd = WorkloadProfile::by_name("namd").unwrap();
+        let jobs = [
+            (DesignPoint::ThreeLc, stream),
+            (DesignPoint::FourLcRef, namd),
+            (DesignPoint::ThreeLc, namd),
+        ];
+        let out = simulate_matrix(&p, &e, &jobs, 100_000, 3, 4);
+        assert_eq!(out.len(), 3);
+        for (r, (design, profile)) in out.iter().zip(jobs) {
+            assert_eq!(r.design, design);
+            assert_eq!(r.workload, profile.name);
+        }
+    }
+}

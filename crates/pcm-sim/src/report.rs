@@ -8,8 +8,9 @@ use crate::workload::WorkloadProfile;
 /// One normalized Figure 16 bar.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Figure16Bar {
-    /// Workload name.
-    pub workload: &'static str,
+    /// Workload name (owned; file-trace driven matrices can use custom
+    /// labels).
+    pub workload: String,
     /// Design point.
     pub design: DesignPoint,
     /// Execution time / 4LC-REF's.
@@ -47,7 +48,7 @@ pub fn figure16(
         for design in DesignPoint::ALL {
             let raw = simulate(params, energy, design, profile, instructions, seed);
             bars.push(Figure16Bar {
-                workload: profile.name,
+                workload: profile.name.to_string(),
                 design,
                 norm_exec_time: raw.exec_time_ns / baseline.exec_time_ns,
                 norm_energy: raw.total_energy_nj() / base_energy,
@@ -86,12 +87,7 @@ mod tests {
     use super::*;
 
     fn matrix() -> Vec<Figure16Bar> {
-        figure16(
-            &SimParams::default(),
-            &EnergyModel::default(),
-            1_000_000,
-            7,
-        )
+        figure16(&SimParams::default(), &EnergyModel::default(), 1_000_000, 7)
     }
 
     #[test]
@@ -122,7 +118,12 @@ mod tests {
             if b.workload == "namd" {
                 assert!((b.norm_exec_time - 1.0).abs() < 0.02, "namd {b:?}");
             } else {
-                assert!(b.norm_exec_time < 0.9, "{}: {}", b.workload, b.norm_exec_time);
+                assert!(
+                    b.norm_exec_time < 0.9,
+                    "{}: {}",
+                    b.workload,
+                    b.norm_exec_time
+                );
                 assert!(b.norm_energy < 0.95, "{}: {}", b.workload, b.norm_energy);
             }
         }

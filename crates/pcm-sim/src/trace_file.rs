@@ -70,11 +70,9 @@ impl FileTrace {
                 "W" | "w" => true,
                 other => return Err(err(format!("expected R or W, got '{other}'"))),
             };
-            let addr_str = fields
-                .next()
-                .ok_or_else(|| err("missing address".into()))?;
-            let addr = parse_u64(addr_str)
-                .ok_or_else(|| err(format!("bad address '{addr_str}'")))?;
+            let addr_str = fields.next().ok_or_else(|| err("missing address".into()))?;
+            let addr =
+                parse_u64(addr_str).ok_or_else(|| err(format!("bad address '{addr_str}'")))?;
             if let Some(extra) = fields.next() {
                 return Err(err(format!("unexpected trailing field '{extra}'")));
             }

@@ -121,7 +121,11 @@ mod tests {
 
         let three = three_on_two_budget(6);
         assert_eq!(three.total_cells(), 364);
-        assert!((three.density() - 1.41).abs() < 0.005, "{}", three.density());
+        assert!(
+            (three.density() - 1.41).abs() < 0.005,
+            "{}",
+            three.density()
+        );
 
         let perm = permutation_budget(6);
         assert_eq!(perm.data_cells, 329);

@@ -97,12 +97,7 @@ impl EcpMlc {
             });
         }
         assert!(replacement_state < 4, "MLC replacement symbol is 2 bits");
-        if let Some(entry) = self
-            .entries
-            .iter_mut()
-            .flatten()
-            .find(|(p, _)| *p == ptr)
-        {
+        if let Some(entry) = self.entries.iter_mut().flatten().find(|(p, _)| *p == ptr) {
             entry.1 = replacement_state;
             return Ok(());
         }

@@ -148,7 +148,10 @@ mod tests {
             log_sum += (model.sample_lifetime(&mut rng) as f64).log10();
         }
         let mean_log = log_sum / n as f64;
-        assert!((mean_log - 5.0).abs() < 0.02, "mean log10 lifetime {mean_log}");
+        assert!(
+            (mean_log - 5.0).abs() < 0.02,
+            "mean log10 lifetime {mean_log}"
+        );
     }
 
     #[test]

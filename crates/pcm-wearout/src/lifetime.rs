@@ -152,7 +152,10 @@ mod tests {
         assert!(l12 > l6);
         let gain_a = l6 / l0;
         let gain_b = l12 / l6;
-        assert!(gain_b < gain_a, "diminishing returns: {gain_a} then {gain_b}");
+        assert!(
+            gain_b < gain_a,
+            "diminishing returns: {gain_a} then {gain_b}"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl MarkSpareCodec {
         values: &[u8],
         failed_pairs: &[usize],
     ) -> Result<Vec<(Trit, Trit)>, MarkSpareError> {
-        assert_eq!(values.len(), self.data_pairs, "need one value per data pair");
+        assert_eq!(
+            values.len(),
+            self.data_pairs,
+            "need one value per data pair"
+        );
         let mut failed = vec![false; self.total_pairs()];
         for &f in failed_pairs {
             assert!(f < self.total_pairs(), "failed pair {f} out of range");
@@ -311,7 +315,10 @@ mod tests {
         let failed7 = [0usize, 42, 99, 140, 170, 173, 176];
         assert_eq!(
             c.encode_pairs(&vals, &failed7),
-            Err(MarkSpareError::TooManyFailures { marked: 7, spares: 6 })
+            Err(MarkSpareError::TooManyFailures {
+                marked: 7,
+                spares: 6
+            })
         );
     }
 
@@ -324,9 +331,9 @@ mod tests {
         let patterns: [&[usize]; 7] = [
             &[],
             &[0],
-            &[14],          // a spare slot itself fails
-            &[0, 1, 2],     // clustered at the front
-            &[12, 13, 14],  // all spares dead
+            &[14],         // a spare slot itself fails
+            &[0, 1, 2],    // clustered at the front
+            &[12, 13, 14], // all spares dead
             &[3, 7, 11],
             &[0, 7, 14],
         ];

@@ -242,7 +242,11 @@ mod tests {
         let s = PrefixOrNetwork::sklansky(128);
         let k = PrefixOrNetwork::kogge_stone(128);
         assert!(k.max_fanout() <= 8, "KS fanout {}", k.max_fanout());
-        assert!(s.max_fanout() >= 32, "Sklansky spine fanout {}", s.max_fanout());
+        assert!(
+            s.max_fanout() >= 32,
+            "Sklansky spine fanout {}",
+            s.max_fanout()
+        );
     }
 
     #[test]

@@ -83,15 +83,22 @@ fn main() {
         solver.step();
     }
     let image = solver.checkpoint();
-    println!("solver at epoch {}, checkpoint = {} blocks\n", solver.epoch, image.len());
+    println!(
+        "solver at epoch {}, checkpoint = {} blocks\n",
+        solver.epoch,
+        image.len()
+    );
 
     // --- 3LC: durable checkpoint --------------------------------------
-    let mut dev3 = PcmDevice::new(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        image.len(),
-        4,
-        7,
-    );
+    let mut dev3 = PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(image.len())
+        .banks(4)
+        .seed(7)
+        .build()
+        .unwrap();
     assert!(store(&mut dev3, &image));
     // Crash + two-year power-off repair window.
     dev3.advance_time(2.0 * 365.25 * 86_400.0);
@@ -100,18 +107,22 @@ fn main() {
         .expect("3LC checkpoint survives years without power");
     assert_eq!(restored.epoch, solver.epoch);
     assert_eq!(restored.state, solver.state);
-    println!("3LC      : restored epoch {} after 2 years unpowered  [OK]", restored.epoch);
+    println!(
+        "3LC      : restored epoch {} after 2 years unpowered  [OK]",
+        restored.epoch
+    );
 
     // --- 4LCo with refresh: fine while powered ------------------------
-    let mut dev4 = PcmDevice::new(
-        CellOrganization::FourLevel {
+    let mut dev4 = PcmDevice::builder()
+        .organization(CellOrganization::FourLevel {
             design: mlc_pcm::core::optimize::four_level_optimal().clone(),
             smart: true,
-        },
-        image.len(),
-        4,
-        7,
-    );
+        })
+        .blocks(image.len())
+        .banks(4)
+        .seed(7)
+        .build()
+        .unwrap();
     assert!(store(&mut dev4, &image));
     let mut scrub = RefreshController::new(REFRESH_17MIN_SECS);
     for k in 1..=24 {
@@ -127,15 +138,16 @@ fn main() {
     );
 
     // ... but refresh requires power. Simulate an outage instead:
-    let mut dev4_off = PcmDevice::new(
-        CellOrganization::FourLevel {
+    let mut dev4_off = PcmDevice::builder()
+        .organization(CellOrganization::FourLevel {
             design: LevelDesign::four_level_naive(),
             smart: false,
-        },
-        image.len(),
-        4,
-        7,
-    );
+        })
+        .blocks(image.len())
+        .banks(4)
+        .seed(7)
+        .build()
+        .unwrap();
     assert!(store(&mut dev4_off, &image));
     dev4_off.advance_time(7.0 * 86_400.0); // one week, no refresh
     let lost = load(&mut dev4_off, image.len())
@@ -144,9 +156,16 @@ fn main() {
         != Some(true);
     println!(
         "4LCn off : checkpoint after a 1-week outage                   [{}]",
-        if lost { "LOST (as the paper predicts)" } else { "OK" }
+        if lost {
+            "LOST (as the paper predicts)"
+        } else {
+            "OK"
+        }
     );
-    assert!(lost, "an unrefreshed naive 4LC checkpoint must not survive a week");
+    assert!(
+        lost,
+        "an unrefreshed naive 4LC checkpoint must not survive a week"
+    );
 
     println!(
         "\nConclusion: only the 3LC design gives checkpoint storage that is\n\

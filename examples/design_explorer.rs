@@ -33,15 +33,20 @@ fn uniform_design(k: usize) -> (LevelDesign, f64) {
         .iter()
         .map(|&n| {
             // Nearest canonical state by nominal resistance.
-            *[StateLabel::S1, StateLabel::S2, StateLabel::S3, StateLabel::S4]
-                .iter()
-                .min_by(|a, b| {
-                    (a.nominal_logr() - n)
-                        .abs()
-                        .partial_cmp(&(b.nominal_logr() - n).abs())
-                        .unwrap()
-                })
-                .unwrap()
+            *[
+                StateLabel::S1,
+                StateLabel::S2,
+                StateLabel::S3,
+                StateLabel::S4,
+            ]
+            .iter()
+            .min_by(|a, b| {
+                (a.nominal_logr() - n)
+                    .abs()
+                    .partial_cmp(&(b.nominal_logr() - n).abs())
+                    .unwrap()
+            })
+            .unwrap()
         })
         .collect();
     let switch = (k == 3).then(mlc_pcm::core::level::DriftSwitch::default);
@@ -108,9 +113,7 @@ fn main() {
         let block_cells = code.cells_per_512_bits() as u64 + 10;
         let retention = mlc_pcm::core::params::figure_time_grid()
             .into_iter()
-            .take_while(|&t| {
-                bler::block_error_rate(est.cer(&design, t), 1, block_cells) <= target
-            })
+            .take_while(|&t| bler::block_error_rate(est.cer(&design, t), 1, block_cells) <= target)
             .last();
         let nonvolatile = retention.is_some_and(|t| t >= TEN_YEARS_SECS);
         println!(

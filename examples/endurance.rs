@@ -32,13 +32,16 @@ fn weak_endurance() -> EnduranceModel {
 }
 
 fn device(blocks: usize, seed: u64) -> PcmDevice {
-    PcmDevice::with_endurance(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        blocks,
-        1,
-        seed,
-        weak_endurance(),
-    )
+    PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(blocks)
+        .banks(1)
+        .seed(seed)
+        .endurance(weak_endurance())
+        .build()
+        .unwrap()
 }
 
 fn main() {
@@ -70,8 +73,14 @@ fn main() {
     println!("   (3LC blocks, weakened cells: median endurance 1500 cycles)\n");
     println!("mark-and-spare alone          : {bare_writes:>8}");
     println!("+ FREE-p remapping (4 reserve): {remap_writes:>8}");
-    println!("+ Start-Gap leveling (psi=16) : {level_writes:>8}{}",
-        if level_writes >= budget { "  (budget exhausted, still alive)" } else { "" });
+    println!(
+        "+ Start-Gap leveling (psi=16) : {level_writes:>8}{}",
+        if level_writes >= budget {
+            "  (budget exhausted, still alive)"
+        } else {
+            ""
+        }
+    );
 
     assert!(
         remap_writes > bare_writes,

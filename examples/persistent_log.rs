@@ -57,12 +57,15 @@ struct PcmLog {
 impl PcmLog {
     fn new(blocks: usize) -> Self {
         Self {
-            dev: PcmDevice::new(
-                CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-                blocks,
-                8,
-                99,
-            ),
+            dev: PcmDevice::builder()
+                .organization(CellOrganization::ThreeLevel(
+                    LevelDesign::three_level_naive(),
+                ))
+                .blocks(blocks)
+                .banks(8)
+                .seed(99)
+                .build()
+                .unwrap(),
             head: 0,
             retired_blocks: 0,
         }
@@ -125,7 +128,10 @@ fn main() {
     let faults = log.dev.stats().wearout_faults;
     println!("appended {appended} records over {} blocks", log.head);
     println!("wearout faults discovered by write-verify: {faults}");
-    println!("blocks retired (spares exhausted):          {}", log.retired_blocks);
+    println!(
+        "blocks retired (spares exhausted):          {}",
+        log.retired_blocks
+    );
 
     // Age the log: three years unpowered, then verify every record.
     log.dev.advance_time(3.0 * 365.25 * 86_400.0);

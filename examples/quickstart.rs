@@ -26,21 +26,25 @@ fn survival(dev: &mut PcmDevice) -> usize {
 fn main() {
     println!("== mlc-pcm quickstart: is MLC-PCM nonvolatile? ==\n");
 
-    let mut three = PcmDevice::new(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        BLOCKS,
-        8,
-        2024,
-    );
-    let mut four = PcmDevice::new(
-        CellOrganization::FourLevel {
+    let mut three = PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(BLOCKS)
+        .banks(8)
+        .seed(2024)
+        .build()
+        .unwrap();
+    let mut four = PcmDevice::builder()
+        .organization(CellOrganization::FourLevel {
             design: LevelDesign::four_level_naive(),
             smart: false,
-        },
-        BLOCKS,
-        8,
-        2024,
-    );
+        })
+        .blocks(BLOCKS)
+        .banks(8)
+        .seed(2024)
+        .build()
+        .unwrap();
 
     for b in 0..BLOCKS {
         let data = checkpoint_bytes(b);

@@ -26,13 +26,38 @@
 //! use mlc_pcm::core::level::LevelDesign;
 //!
 //! // A three-level-cell device: genuinely nonvolatile MLC-PCM.
-//! let mut dev = PcmDevice::new(
-//!     CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-//!     16, 4, 1,
-//! );
+//! let mut dev = PcmDevice::builder()
+//!     .organization(CellOrganization::ThreeLevel(LevelDesign::three_level_naive()))
+//!     .blocks(16)
+//!     .banks(4)
+//!     .seed(1)
+//!     .build()
+//!     .unwrap();
 //! dev.write_block(0, &[0x42u8; 64]).unwrap();
 //! dev.advance_time(10.0 * 365.25 * 86_400.0); // ten years unpowered
 //! assert_eq!(dev.read_block(0).unwrap().data, vec![0x42u8; 64]);
+//! ```
+//!
+//! ## Concurrent access
+//!
+//! The same builder produces a bank-sharded engine whose results are
+//! bit-identical to the sequential device — shared references suffice,
+//! so it drops straight into scoped threads:
+//!
+//! ```
+//! use mlc_pcm::device::PcmDevice;
+//!
+//! let dev = PcmDevice::builder().blocks(16).banks(4).build_sharded().unwrap();
+//! std::thread::scope(|scope| {
+//!     for t in 0..4 {
+//!         let dev = &dev;
+//!         scope.spawn(move || {
+//!             let mut session = dev.session();
+//!             session.write_block(t, &[t as u8; 64]).unwrap();
+//!         });
+//!     }
+//! });
+//! assert_eq!(dev.read_block(2).unwrap().data, vec![2u8; 64]);
 //! ```
 
 pub use pcm_codec as codec;

@@ -17,13 +17,16 @@ fn weak(median: f64) -> EnduranceModel {
 }
 
 fn weak_device(blocks: usize, banks: usize, seed: u64, median: f64) -> PcmDevice {
-    PcmDevice::with_endurance(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        blocks,
-        banks,
-        seed,
-        weak(median),
-    )
+    PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(blocks)
+        .banks(banks)
+        .seed(seed)
+        .endurance(weak(median))
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -157,6 +160,10 @@ fn generic_five_level_block_integrates_with_array() {
     // but volatile — the §8 frontier).
     let data: Vec<u8> = (0..64u32).map(|i| (i * 11 + 3) as u8).collect();
     blk.write(&mut arr, 0.0, &data).unwrap();
-    assert_eq!(blk.read(&arr, 60.0).unwrap().data, data, "survives a minute");
+    assert_eq!(
+        blk.read(&arr, 60.0).unwrap().data,
+        data,
+        "survives a minute"
+    );
     assert!(blk.density() > 1.7, "worth it: {} bits/cell", blk.density());
 }

@@ -17,12 +17,15 @@ fn pattern(b: usize, salt: u8) -> Vec<u8> {
 fn three_level_device_full_decade_with_wearout() {
     // The paper's full story on one device: wearout during the write
     // phase, then ten unpowered years, then perfect readback.
-    let mut dev = PcmDevice::new(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        32,
-        8,
-        2013,
-    );
+    let mut dev = PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(32)
+        .banks(8)
+        .seed(2013)
+        .build()
+        .unwrap();
     // Sprinkle early-failing cells across the array.
     for k in 0..24 {
         dev.inject_lifetime((k * 997) % (32 * 364), k as u64 % 4 + 1);
@@ -30,7 +33,8 @@ fn three_level_device_full_decade_with_wearout() {
     // Write everything a few times (persistent-store usage).
     for round in 0..4 {
         for b in 0..32 {
-            dev.write_block(b, &pattern(b, round)).expect("write survives wearout");
+            dev.write_block(b, &pattern(b, round))
+                .expect("write survives wearout");
         }
     }
     assert!(dev.stats().wearout_faults > 0, "sabotage must bite");
@@ -45,15 +49,16 @@ fn three_level_device_full_decade_with_wearout() {
 fn four_level_device_lives_on_refresh_dies_without() {
     let design = mlc_pcm::core::optimize::four_level_optimal().clone();
     // Refreshed device: survives a simulated day of 17-minute scrubs.
-    let mut refreshed = PcmDevice::new(
-        CellOrganization::FourLevel {
+    let mut refreshed = PcmDevice::builder()
+        .organization(CellOrganization::FourLevel {
             design: design.clone(),
             smart: true,
-        },
-        16,
-        8,
-        5,
-    );
+        })
+        .blocks(16)
+        .banks(8)
+        .seed(5)
+        .build()
+        .unwrap();
     for b in 0..16 {
         refreshed.write_block(b, &pattern(b, 1)).unwrap();
     }
@@ -68,15 +73,16 @@ fn four_level_device_lives_on_refresh_dies_without() {
     }
 
     // The same organization without refresh must eventually lose data.
-    let mut bare = PcmDevice::new(
-        CellOrganization::FourLevel {
+    let mut bare = PcmDevice::builder()
+        .organization(CellOrganization::FourLevel {
             design: LevelDesign::four_level_naive(),
             smart: false,
-        },
-        16,
-        8,
-        5,
-    );
+        })
+        .blocks(16)
+        .banks(8)
+        .seed(5)
+        .build()
+        .unwrap();
     for b in 0..16 {
         bare.write_block(b, &pattern(b, 1)).unwrap();
     }
@@ -84,7 +90,10 @@ fn four_level_device_lives_on_refresh_dies_without() {
     let dead = (0..16)
         .filter(|&b| !matches!(bare.read_block(b), Ok(r) if r.data == pattern(b, 1)))
         .count();
-    assert!(dead >= 15, "a year of unrefreshed 4LCn drift: {dead}/16 dead");
+    assert!(
+        dead >= 15,
+        "a year of unrefreshed 4LCn drift: {dead}/16 dead"
+    );
 }
 
 #[test]
@@ -92,15 +101,16 @@ fn refresh_resets_the_drift_clock_not_just_errors() {
     // After many refresh periods, a refreshed block must look as young as
     // a freshly written one: the next period's error statistics must not
     // accumulate.
-    let mut dev = PcmDevice::new(
-        CellOrganization::FourLevel {
+    let mut dev = PcmDevice::builder()
+        .organization(CellOrganization::FourLevel {
             design: mlc_pcm::core::optimize::four_level_optimal().clone(),
             smart: false,
-        },
-        8,
-        8,
-        17,
-    );
+        })
+        .blocks(8)
+        .banks(8)
+        .seed(17)
+        .build()
+        .unwrap();
     for b in 0..8 {
         dev.write_block(b, &pattern(b, 9)).unwrap();
     }
@@ -129,12 +139,15 @@ fn mixed_traffic_determinism() {
     // Two identically seeded devices fed identical traffic must agree
     // bit-for-bit in data and statistics.
     let build = || {
-        PcmDevice::new(
-            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-            16,
-            4,
-            42,
-        )
+        PcmDevice::builder()
+            .organization(CellOrganization::ThreeLevel(
+                LevelDesign::three_level_naive(),
+            ))
+            .blocks(16)
+            .banks(4)
+            .seed(42)
+            .build()
+            .unwrap()
     };
     let run = |mut dev: PcmDevice| {
         for step in 0..200u32 {
@@ -146,7 +159,12 @@ fn mixed_traffic_determinism() {
             }
             dev.advance_time(3600.0);
         }
-        (dev.stats(), (0..16).map(|b| dev.read_block(b).ok().map(|r| r.data)).collect::<Vec<_>>())
+        (
+            dev.stats(),
+            (0..16)
+                .map(|b| dev.read_block(b).ok().map(|r| r.data))
+                .collect::<Vec<_>>(),
+        )
     };
     assert_eq!(run(build()), run(build()));
 }
@@ -154,12 +172,15 @@ fn mixed_traffic_determinism() {
 #[test]
 fn wearout_exhaustion_is_contained_per_block() {
     // Exhausting one block's spares must not affect its neighbors.
-    let mut dev = PcmDevice::new(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        4,
-        4,
-        3,
-    );
+    let mut dev = PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(4)
+        .banks(4)
+        .seed(3)
+        .build()
+        .unwrap();
     // Kill 8 pairs of block 2 only.
     for p in 0..8 {
         dev.inject_lifetime(2 * 364 + p * 2, 1);
@@ -184,12 +205,15 @@ fn wearout_exhaustion_is_contained_per_block() {
 fn corrected_bits_are_reported_through_the_stack() {
     // Age a 3LC device to where occasional drift errors appear, scrub,
     // and confirm the BCH-1 corrections surface in device stats.
-    let mut dev = PcmDevice::new(
-        CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-        64,
-        8,
-        1234,
-    );
+    let mut dev = PcmDevice::builder()
+        .organization(CellOrganization::ThreeLevel(
+            LevelDesign::three_level_naive(),
+        ))
+        .blocks(64)
+        .banks(8)
+        .seed(1234)
+        .build()
+        .unwrap();
     for b in 0..64 {
         dev.write_block(b, &pattern(b, 0)).unwrap();
     }

@@ -13,7 +13,12 @@ fn claim_s3_dominates() {
     let est = AnalyticCer::default();
     let d = LevelDesign::four_level_naive();
     let per = est.per_state_cer(&d, REFRESH_17MIN_SECS);
-    assert!(per[2] > 5.0 * per[1], "S3 {:.2e} vs S2 {:.2e}", per[2], per[1]);
+    assert!(
+        per[2] > 5.0 * per[1],
+        "S3 {:.2e} vs S2 {:.2e}",
+        per[2],
+        per[1]
+    );
     assert!(per[0] < per[1] * 1e-3, "S1 must be negligible");
     assert_eq!(per[3], 0.0, "S4 cannot drift upward");
 }
@@ -125,7 +130,12 @@ fn claim_figure16_shape() {
             if b.workload == "namd" {
                 assert!((b.norm_exec_time - 1.0).abs() < 0.02);
             } else {
-                assert!(b.norm_exec_time < 0.9, "{}: {}", b.workload, b.norm_exec_time);
+                assert!(
+                    b.norm_exec_time < 0.9,
+                    "{}: {}",
+                    b.workload,
+                    b.norm_exec_time
+                );
             }
         }
     }

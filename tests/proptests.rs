@@ -262,18 +262,99 @@ proptest! {
         age_days in 0u32..3650,
     ) {
         use mlc_pcm::device::{CellOrganization, PcmDevice};
-        let mut dev = PcmDevice::new(
-            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-            4,
-            4,
-            9,
-        );
+        let mut dev = PcmDevice::builder()
+            .organization(CellOrganization::ThreeLevel(LevelDesign::three_level_naive()))
+            .blocks(4)
+            .banks(4)
+            .seed(9)
+            .build()
+            .unwrap();
         for (b, p) in payloads.iter().enumerate() {
             dev.write_block(b, p).unwrap();
         }
         dev.advance_time(age_days as f64 * 86_400.0);
         for (b, p) in payloads.iter().enumerate() {
             prop_assert_eq!(&dev.read_block(b).unwrap().data, p);
+        }
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_at_any_thread_count(
+        seed in 0u64..1000,
+        payloads in vec(vec(any::<u8>(), 64), 8),
+        ops in vec((0usize..8, any::<bool>()), 0..40),
+    ) {
+        // The determinism guarantee: a bank's outcomes are a pure
+        // function of its op sequence, so as long as per-bank order is
+        // preserved, data AND stats are bit-identical to the sequential
+        // engine no matter how many threads drive the shards.
+        use mlc_pcm::device::{CellOrganization, PcmDevice};
+        const BLOCKS: usize = 8;
+        const BANKS: usize = 4;
+        let build = || {
+            PcmDevice::builder()
+                .organization(CellOrganization::ThreeLevel(
+                    LevelDesign::three_level_naive(),
+                ))
+                .blocks(BLOCKS)
+                .banks(BANKS)
+                .seed(seed)
+        };
+
+        // Sequential reference run.
+        let mut seq = build().build().unwrap();
+        for (b, p) in payloads.iter().enumerate() {
+            seq.write_block(b, p).unwrap();
+        }
+        for &(block, is_write) in &ops {
+            if is_write {
+                seq.write_block(block, &payloads[block]).unwrap();
+            } else {
+                seq.read_block(block).unwrap();
+            }
+        }
+        let seq_stats = seq.bank_stats();
+        let seq_data: Vec<Vec<u8>> =
+            (0..BLOCKS).map(|b| seq.read_block(b).unwrap().data).collect();
+
+        for threads in [1usize, 2, 8] {
+            let dev = build().build_sharded().unwrap();
+            // Thread t owns banks t, t+threads, … — disjoint ownership
+            // keeps each bank's op order identical to the sequential run.
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let payloads = &payloads;
+                    let ops = &ops;
+                    let dev = &dev;
+                    scope.spawn(move || {
+                        let mut session = dev.session();
+                        let owns = |block: usize| block % BANKS % threads == t;
+                        for (b, p) in payloads.iter().enumerate() {
+                            if owns(b) {
+                                session.write_block(b, p).unwrap();
+                            }
+                        }
+                        for &(block, is_write) in ops {
+                            if !owns(block) {
+                                continue;
+                            }
+                            if is_write {
+                                session.write_block(block, &payloads[block]).unwrap();
+                            } else {
+                                session.read_block(block).unwrap();
+                            }
+                        }
+                    });
+                }
+            });
+            prop_assert_eq!(&dev.bank_stats(), &seq_stats, "stats, threads={}", threads);
+            for (b, want) in seq_data.iter().enumerate() {
+                prop_assert_eq!(
+                    &dev.read_block(b).unwrap().data,
+                    want,
+                    "block {} at threads={}", b, threads
+                );
+            }
         }
     }
 }
