@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pcm_core::level::LevelDesign;
-use pcm_device::{CellOrganization, PcmDevice, ShardedPcmDevice};
+use pcm_device::{CellOrganization, PcmDevice, ShardedPcmDevice, ShardedScrubber};
 use pcm_wearout::fault::EnduranceModel;
 
 /// Writes issued per benchmark iteration (across all threads).
@@ -108,10 +108,48 @@ fn bench_sequential_baseline(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_demand_with_background_scrub(c: &mut Criterion) {
+    // The refresh-vs-demand interaction (§4.1/§7): two demand threads
+    // write while the scrubber walks the device from two background
+    // scrub threads. Each iteration advances the clock 0.5 s, so the
+    // scrub load is blocks × 0.5 / interval ops per iteration — 32, 8,
+    // and 2 for the three intervals, and ~0 for the no-scrub baseline.
+    let data = pcm_bench::payload(5);
+    let mut g = c.benchmark_group("demand_with_scrub_64B");
+    g.throughput(Throughput::Bytes((OPS * 64) as u64));
+    for (label, interval) in [("0.5s", 0.5), ("2s", 2.0), ("8s", 8.0), ("none", 1e12)] {
+        let dev = sharded(8);
+        let mut scrubber = ShardedScrubber::new(&dev, interval);
+        let mut now = 0.0f64;
+        g.bench_function(BenchmarkId::new("interval", label), |b| {
+            b.iter(|| {
+                now += 0.5;
+                dev.advance_time(0.5);
+                std::thread::scope(|scope| {
+                    for t in 0..2usize {
+                        let dev = &dev;
+                        let data = &data;
+                        scope.spawn(move || {
+                            let mut session = dev.session();
+                            let own: Vec<usize> = (t..dev.banks()).step_by(2).collect();
+                            for i in 0..OPS / 2 {
+                                session.write_block(own[i % own.len()], data).unwrap();
+                            }
+                        });
+                    }
+                    scrubber.run_until_concurrent(&dev, now, 2);
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_thread_bank_sweep,
     bench_batch_vs_singles,
-    bench_sequential_baseline
+    bench_sequential_baseline,
+    bench_demand_with_background_scrub
 );
 criterion_main!(benches);

@@ -23,8 +23,10 @@
 use crate::bank::PcmBank;
 use crate::concurrent::ShardedPcmDevice;
 use crate::device::{CellOrganization, PcmDevice};
+use crate::metrics::DeviceMetrics;
 use pcm_core::level::LevelDesign;
 use pcm_wearout::fault::EnduranceModel;
+use std::sync::Arc;
 
 /// A rejected device configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,14 +150,20 @@ impl DeviceBuilder {
 
     /// Build the sequential engine.
     pub fn build(self) -> Result<PcmDevice, ConfigError> {
-        Ok(PcmDevice::from_banks(self.build_banks()?, 0.0))
+        let metrics = Arc::new(DeviceMetrics::new(self.banks));
+        Ok(PcmDevice::from_banks(self.build_banks()?, 0.0, metrics))
     }
 
     /// Build the lock-sharded concurrent engine from the same
     /// configuration (bit-identical to [`DeviceBuilder::build`] for the
     /// same seed and per-bank operation order).
     pub fn build_sharded(self) -> Result<ShardedPcmDevice, ConfigError> {
-        Ok(ShardedPcmDevice::from_banks(self.build_banks()?, 0.0))
+        let metrics = Arc::new(DeviceMetrics::new(self.banks));
+        Ok(ShardedPcmDevice::from_banks(
+            self.build_banks()?,
+            0.0,
+            metrics,
+        ))
     }
 }
 
@@ -211,12 +219,14 @@ mod tests {
             .seed(33)
             .build()
             .unwrap();
-        #[allow(deprecated)]
-        let mut b = PcmDevice::new(
+        // The legacy positional path, reached through the non-deprecated
+        // shared body so only the shims carry `#[deprecated]`.
+        let mut b = PcmDevice::from_legacy_args(
             CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
             8,
             2,
             33,
+            EnduranceModel::mlc(),
         );
         let data = vec![0xC3u8; 64];
         let ra = a.write_block(5, &data).unwrap();

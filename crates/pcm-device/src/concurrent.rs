@@ -44,8 +44,9 @@ use crate::bank::PcmBank;
 use crate::block::{ReadReport, WriteReport, BLOCK_BYTES};
 use crate::device::{DeviceStats, PcmDevice};
 use crate::error::PcmError;
+use crate::metrics::{self, DeviceMetrics};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A PCM device sharing its banks across threads behind per-bank locks.
 ///
@@ -57,15 +58,18 @@ pub struct ShardedPcmDevice {
     blocks: usize,
     /// Device clock, seconds, stored as `f64::to_bits`.
     now_bits: AtomicU64,
+    metrics: Arc<DeviceMetrics>,
 }
 
 impl ShardedPcmDevice {
-    pub(crate) fn from_banks(banks: Vec<PcmBank>, now: f64) -> Self {
+    pub(crate) fn from_banks(banks: Vec<PcmBank>, now: f64, metrics: Arc<DeviceMetrics>) -> Self {
+        debug_assert_eq!(metrics.banks(), banks.len());
         let blocks = banks.iter().map(PcmBank::blocks).sum();
         Self {
             shards: banks.into_iter().map(Mutex::new).collect(),
             blocks,
             now_bits: AtomicU64::new(now.to_bits()),
+            metrics,
         }
     }
 
@@ -83,7 +87,14 @@ impl ShardedPcmDevice {
                     .expect("no shard lock can outlive the device")
             })
             .collect();
-        PcmDevice::from_banks(banks, now)
+        PcmDevice::from_banks(banks, now, self.metrics)
+    }
+
+    /// The observability registry: per-bank atomic counters and latency
+    /// histograms, recorded lock-free on every operation and shared with
+    /// the sequential engine across conversions.
+    pub fn metrics(&self) -> &DeviceMetrics {
+        &self.metrics
     }
 
     /// A handle for issuing operations from one thread. Sessions are
@@ -143,12 +154,38 @@ impl ShardedPcmDevice {
         Ok((block % self.shards.len(), block / self.shards.len()))
     }
 
+    /// Record a write outcome into the metrics registry.
+    fn note_write(&self, shard: usize, cells: u64, r: &Result<WriteReport, PcmError>) {
+        match r {
+            Ok(rep) => self.metrics.bank(shard).record_write(
+                rep.new_faults as u64,
+                metrics::write_busy_ns(rep.attempts, cells),
+            ),
+            Err(_) => self.metrics.bank(shard).record_failure(),
+        }
+    }
+
+    /// Record a read outcome into the metrics registry.
+    fn note_read(&self, shard: usize, r: &Result<ReadReport, PcmError>) {
+        match r {
+            Ok(rep) => self
+                .metrics
+                .bank(shard)
+                .record_read(rep.corrected_bits as u64, metrics::READ_BUSY_NS),
+            Err(_) => self.metrics.bank(shard).record_failure(),
+        }
+    }
+
     /// Write 64 bytes to a block (locks only that block's bank).
     pub fn write_block(&self, block: usize, data: &[u8]) -> Result<WriteReport, PcmError> {
         let (shard, local) = self.locate(block)?;
         let now = self.now();
         let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
-        bank.write(local, now, data).map_err(PcmError::from)
+        let cells = bank.cells_per_block() as u64;
+        let r = bank.write(local, now, data).map_err(PcmError::from);
+        drop(bank);
+        self.note_write(shard, cells, &r);
+        r
     }
 
     /// Read 64 bytes from a block (locks only that block's bank).
@@ -156,7 +193,10 @@ impl ShardedPcmDevice {
         let (shard, local) = self.locate(block)?;
         let now = self.now();
         let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
-        bank.read(local, now).map_err(PcmError::from)
+        let r = bank.read(local, now).map_err(PcmError::from);
+        drop(bank);
+        self.note_read(shard, &r);
+        r
     }
 
     /// Refresh (scrub) one block: read, correct, rewrite.
@@ -164,7 +204,16 @@ impl ShardedPcmDevice {
         let (shard, local) = self.locate(block)?;
         let now = self.now();
         let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
-        bank.refresh(local, now).map_err(PcmError::from)
+        let r = bank.refresh(local, now).map_err(PcmError::from);
+        drop(bank);
+        match &r {
+            Ok(()) => self
+                .metrics
+                .bank(shard)
+                .record_scrub(metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS),
+            Err(_) => self.metrics.bank(shard).record_failure(),
+        }
+        r
     }
 
     /// Bulk write path: requests are grouped by bank *before* any lock is
@@ -188,10 +237,13 @@ impl ShardedPcmDevice {
                 continue;
             }
             let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
+            let cells = bank.cells_per_block() as u64;
             for &i in idxs {
                 let (block, data) = requests[i];
                 let local = block / self.shards.len();
-                results[i] = Some(bank.write(local, now, data).map_err(PcmError::from));
+                let r = bank.write(local, now, data).map_err(PcmError::from);
+                self.note_write(shard, cells, &r);
+                results[i] = Some(r);
             }
         }
         results
@@ -219,7 +271,9 @@ impl ShardedPcmDevice {
             let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
             for &i in idxs {
                 let local = blocks[i] / self.shards.len();
-                results[i] = Some(bank.read(local, now).map_err(PcmError::from));
+                let r = bank.read(local, now).map_err(PcmError::from);
+                self.note_read(shard, &r);
+                results[i] = Some(r);
             }
         }
         results
@@ -267,8 +321,8 @@ impl ShardedPcmDevice {
 
 impl From<PcmDevice> for ShardedPcmDevice {
     fn from(dev: PcmDevice) -> Self {
-        let (banks, now) = dev.into_banks();
-        Self::from_banks(banks, now)
+        let (banks, now, metrics) = dev.into_banks();
+        Self::from_banks(banks, now, metrics)
     }
 }
 
@@ -308,6 +362,11 @@ impl<'d> Session<'d> {
     /// Operations issued through this session.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// The device-wide observability registry (shared across sessions).
+    pub fn metrics(&self) -> &'d DeviceMetrics {
+        self.dev.metrics()
     }
 
     /// Write 64 bytes to a block.

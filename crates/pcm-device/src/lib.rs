@@ -11,6 +11,10 @@
 //! * [`device`] — banks of blocks with a global drift clock and stats.
 //! * [`refresh`] — the scrub controller that makes 4LC usable as volatile
 //!   memory (§4.1) — and that the 3LC design gets to switch off.
+//! * [`scrub`] — the same integer-tick schedule for the sharded engine:
+//!   per-bank cursors runnable inline or from background scrub threads.
+//! * [`metrics`] — per-bank atomic counters and log2 latency histograms,
+//!   recorded by both engines and shared across conversions.
 //!
 //! ```
 //! use pcm_device::{CellOrganization, PcmDevice};
@@ -56,8 +60,10 @@ pub mod concurrent;
 pub mod device;
 pub mod error;
 pub mod generic_block;
+pub mod metrics;
 pub mod refresh;
 pub mod remap;
+pub mod scrub;
 pub mod wear_level;
 
 pub use array::{CellArray, ProgramOutcome};
@@ -68,6 +74,8 @@ pub use concurrent::{Session, SessionStats, ShardedPcmDevice};
 pub use device::{CellOrganization, DeviceStats, PcmDevice};
 pub use error::PcmError;
 pub use generic_block::GenericBlock;
+pub use metrics::{BankMetrics, BankMetricsSnapshot, DeviceMetrics, LogHistogram, MetricsSnapshot};
 pub use refresh::{RefreshController, RefreshReport};
 pub use remap::RemappedDevice;
+pub use scrub::{BankScrubCursor, ScrubScheduler, ShardedScrubber};
 pub use wear_level::{GapMove, StartGap, WearLeveledDevice};

@@ -1,0 +1,381 @@
+//! Device observability: a registry of per-bank atomic counters and
+//! log2-bucket histograms.
+//!
+//! The ROADMAP north-star asks for observability of the hot paths; this
+//! module is the lightweight layer both engines thread their telemetry
+//! through. A [`DeviceMetrics`] holds one [`BankMetrics`] per bank —
+//! plain `AtomicU64`s, so the sharded engine records without taking any
+//! lock and the sequential engine pays a handful of uncontended atomic
+//! adds per op. Histograms bucket by `log2(value)` ([`LogHistogram`]),
+//! which keeps them fixed-size and mergeable while still resolving the
+//! order-of-magnitude structure of latency distributions.
+//!
+//! Counters survive engine conversions
+//! ([`ShardedPcmDevice::into_sequential`](crate::concurrent::ShardedPcmDevice::into_sequential)
+//! and back): the registry is shared via `Arc` and travels with the
+//! banks.
+//!
+//! Recorded latencies use the paper's timing model (§7 / Table 5): array
+//! reads occupy their bank for 200 ns, each program-and-verify iteration
+//! of a write costs 1 µs, and a scrub is a read plus a write. They are
+//! *modeled* costs — the functional engine has no wall clock — but they
+//! make per-bank busy time and the write-latency distribution (which
+//! varies with verify-loop attempts) directly comparable to the timing
+//! simulator's numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Modeled bank-busy time of one array read, ns (paper: 200 ns).
+pub const READ_BUSY_NS: u64 = 200;
+/// Modeled bank-busy time of one program-and-verify iteration, ns. A
+/// whole-block write with `attempts` iterations across its cells is
+/// charged `attempts × PROGRAM_PULSE_NS / cells` — see
+/// [`write_busy_ns`].
+pub const WRITE_BUSY_NS: u64 = 1000;
+
+/// Modeled busy time of a block write, ns: the paper's 1 µs, scaled by
+/// how many extra verify iterations the write needed beyond one pass
+/// over its cells.
+pub fn write_busy_ns(attempts: u64, cells: u64) -> u64 {
+    if cells == 0 {
+        return WRITE_BUSY_NS;
+    }
+    // One pass (attempts == cells) is the nominal 1 µs; re-programmed
+    // cells extend the pulse train proportionally.
+    WRITE_BUSY_NS * attempts.max(cells) / cells
+}
+
+/// Number of buckets in a [`LogHistogram`]: bucket 0 holds zeros, bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-size log2-bucket histogram over `u64` samples.
+///
+/// Bucket 0 counts zero samples; bucket `i ≥ 1` counts samples whose
+/// `ilog2` is `i - 1`. Recording is one relaxed atomic add, so the
+/// histogram is safe to share across threads without locks.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => v.ilog2() as usize + 1,
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i` (0 for buckets 0 and 1).
+    pub fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 | 1 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Snapshot of all bucket counts.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Lower bound of the bucket containing quantile `q` (0 for an empty
+    /// histogram). `q` is clamped to `[0, 1]`.
+    pub fn quantile_floor(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        Self::bucket_floor(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Atomic counters and histograms for one bank.
+#[derive(Debug, Default)]
+pub struct BankMetrics {
+    /// Successful block reads.
+    pub reads: AtomicU64,
+    /// Successful block writes (demand only, not scrub rewrites).
+    pub writes: AtomicU64,
+    /// Completed scrubs (read + correct + rewrite).
+    pub scrubs: AtomicU64,
+    /// Symbols corrected by transient-error ECC across all reads.
+    pub corrected_symbols: AtomicU64,
+    /// Operations that failed (uncorrectable reads, unverifiable or
+    /// wearout-exhausted writes, failed scrubs).
+    pub uncorrectables: AtomicU64,
+    /// Wearout faults newly remapped by write-and-verify (mark-and-spare
+    /// / ECP entries consumed).
+    pub remaps: AtomicU64,
+    /// Cumulative modeled busy time, ns.
+    pub busy_ns: AtomicU64,
+    /// Per-op modeled latency distribution, ns.
+    pub latency_ns: LogHistogram,
+}
+
+impl BankMetrics {
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a successful read.
+    pub fn record_read(&self, corrected_symbols: u64, busy_ns: u64) {
+        Self::add(&self.reads, 1);
+        Self::add(&self.corrected_symbols, corrected_symbols);
+        Self::add(&self.busy_ns, busy_ns);
+        self.latency_ns.record(busy_ns);
+    }
+
+    /// Record a successful write.
+    pub fn record_write(&self, remaps: u64, busy_ns: u64) {
+        Self::add(&self.writes, 1);
+        Self::add(&self.remaps, remaps);
+        Self::add(&self.busy_ns, busy_ns);
+        self.latency_ns.record(busy_ns);
+    }
+
+    /// Record a completed scrub.
+    pub fn record_scrub(&self, busy_ns: u64) {
+        Self::add(&self.scrubs, 1);
+        Self::add(&self.busy_ns, busy_ns);
+        self.latency_ns.record(busy_ns);
+    }
+
+    /// Record a failed operation.
+    pub fn record_failure(&self) {
+        Self::add(&self.uncorrectables, 1);
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> BankMetricsSnapshot {
+        BankMetricsSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            scrubs: self.scrubs.load(Ordering::Relaxed),
+            corrected_symbols: self.corrected_symbols.load(Ordering::Relaxed),
+            uncorrectables: self.uncorrectables.load(Ordering::Relaxed),
+            remaps: self.remaps.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            latency_buckets: self.latency_ns.bucket_counts(),
+        }
+    }
+}
+
+/// A plain-data copy of one bank's metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankMetricsSnapshot {
+    /// Successful block reads.
+    pub reads: u64,
+    /// Successful block writes.
+    pub writes: u64,
+    /// Completed scrubs.
+    pub scrubs: u64,
+    /// ECC-corrected symbols.
+    pub corrected_symbols: u64,
+    /// Failed operations.
+    pub uncorrectables: u64,
+    /// Newly remapped wearout faults.
+    pub remaps: u64,
+    /// Cumulative modeled busy time, ns.
+    pub busy_ns: u64,
+    /// Latency histogram bucket counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub latency_buckets: Vec<u64>,
+}
+
+impl BankMetricsSnapshot {
+    /// Fold another snapshot into this one (device-wide aggregation).
+    pub fn accumulate(&mut self, other: &BankMetricsSnapshot) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.scrubs += other.scrubs;
+        self.corrected_symbols += other.corrected_symbols;
+        self.uncorrectables += other.uncorrectables;
+        self.remaps += other.remaps;
+        self.busy_ns += other.busy_ns;
+        if self.latency_buckets.len() < other.latency_buckets.len() {
+            self.latency_buckets.resize(other.latency_buckets.len(), 0);
+        }
+        for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// The per-device registry: one [`BankMetrics`] per bank.
+#[derive(Debug, Default)]
+pub struct DeviceMetrics {
+    banks: Vec<BankMetrics>,
+}
+
+impl DeviceMetrics {
+    /// A registry for `banks` banks, all counters zero.
+    pub fn new(banks: usize) -> Self {
+        Self {
+            banks: (0..banks).map(|_| BankMetrics::default()).collect(),
+        }
+    }
+
+    /// Number of banks tracked.
+    pub fn banks(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The counters for bank `bank`.
+    pub fn bank(&self, bank: usize) -> &BankMetrics {
+        &self.banks[bank]
+    }
+
+    /// Point-in-time copy of every bank's counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            per_bank: self.banks.iter().map(BankMetrics::snapshot).collect(),
+        }
+    }
+}
+
+/// A plain-data copy of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Per-bank snapshots, indexed by bank id.
+    pub per_bank: Vec<BankMetricsSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Device-wide totals.
+    pub fn total(&self) -> BankMetricsSnapshot {
+        let mut total = BankMetricsSnapshot::default();
+        for b in &self.per_bank {
+            total.accumulate(b);
+        }
+        total
+    }
+
+    /// Per-bank busy fraction over `elapsed_ns` of device time (clamped
+    /// to 1.0; all-zero if no time has elapsed).
+    pub fn utilization(&self, elapsed_ns: f64) -> Vec<f64> {
+        self.per_bank
+            .iter()
+            .map(|b| {
+                if elapsed_ns > 0.0 {
+                    (b.busy_ns as f64 / elapsed_ns).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_floor(0), 0);
+        assert_eq!(LogHistogram::bucket_floor(2), 2);
+        assert_eq!(LogHistogram::bucket_floor(11), 1024);
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let h = LogHistogram::new();
+        for v in [200u64, 200, 200, 1000, 1000, 4000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[LogHistogram::bucket_of(200)], 3);
+        assert_eq!(counts[LogHistogram::bucket_of(1000)], 2);
+        // Median lands in the 200 ns bucket, p99 in the 4000 ns bucket.
+        assert_eq!(h.quantile_floor(0.5), LogHistogram::bucket_floor(8));
+        assert_eq!(h.quantile_floor(0.99), LogHistogram::bucket_floor(12));
+        assert_eq!(LogHistogram::new().quantile_floor(0.5), 0);
+    }
+
+    #[test]
+    fn write_busy_scales_with_attempts() {
+        assert_eq!(write_busy_ns(364, 364), WRITE_BUSY_NS);
+        assert_eq!(write_busy_ns(728, 364), 2 * WRITE_BUSY_NS);
+        // Fewer attempts than cells never discounts below nominal.
+        assert_eq!(write_busy_ns(100, 364), WRITE_BUSY_NS);
+        assert_eq!(write_busy_ns(0, 0), WRITE_BUSY_NS);
+    }
+
+    #[test]
+    fn registry_aggregates_across_banks() {
+        let m = DeviceMetrics::new(4);
+        m.bank(0).record_write(2, 1000);
+        m.bank(0).record_read(5, 200);
+        m.bank(3).record_scrub(1200);
+        m.bank(3).record_failure();
+        let snap = m.snapshot();
+        assert_eq!(snap.per_bank.len(), 4);
+        assert_eq!(snap.per_bank[0].writes, 1);
+        assert_eq!(snap.per_bank[0].remaps, 2);
+        assert_eq!(snap.per_bank[3].scrubs, 1);
+        assert_eq!(snap.per_bank[3].uncorrectables, 1);
+        let total = snap.total();
+        assert_eq!(total.reads, 1);
+        assert_eq!(total.corrected_symbols, 5);
+        assert_eq!(total.busy_ns, 1000 + 200 + 1200);
+        let hist_total: u64 = total.latency_buckets.iter().sum();
+        assert_eq!(hist_total, 3, "failures do not enter the histogram");
+    }
+
+    #[test]
+    fn utilization_is_busy_over_elapsed() {
+        let m = DeviceMetrics::new(2);
+        m.bank(0).record_write(0, 1000);
+        m.bank(1).record_read(0, 200);
+        let u = m.snapshot().utilization(10_000.0);
+        assert!((u[0] - 0.1).abs() < 1e-12);
+        assert!((u[1] - 0.02).abs() < 1e-12);
+        assert_eq!(m.snapshot().utilization(0.0), vec![0.0, 0.0]);
+        // Clamped at 1.
+        assert_eq!(m.snapshot().utilization(0.5)[0], 1.0);
+    }
+}

@@ -10,14 +10,20 @@ use crate::block::BlockError;
 use crate::device::PcmDevice;
 
 /// A periodic refresh controller over a device.
+///
+/// Scheduling is integer-tick: launch `k` (1-based) is due at exactly
+/// `k × interval / blocks` and scrubs block `(k - 1) % blocks`. Due
+/// times are computed as `tick × step` rather than accumulated, so the
+/// schedule cannot drift over long horizons, and the first launch is at
+/// `step` — not `t = 0`, which would scrub one extra block per run.
 #[derive(Debug, Clone)]
 pub struct RefreshController {
     /// Target interval between successive refreshes of the same block.
     pub interval_secs: f64,
     /// Time one block's refresh occupies its bank (paper: 1 µs).
     pub block_refresh_secs: f64,
-    cursor: usize,
-    next_due: f64,
+    /// Next launch index, 1-based.
+    tick: u64,
 }
 
 /// What a controller did during a `run_until` call.
@@ -31,6 +37,16 @@ pub struct RefreshReport {
     pub bank_busy_secs: f64,
 }
 
+impl RefreshReport {
+    /// Fold another report into this one (merging per-bank or per-thread
+    /// scrub reports).
+    pub fn merge(&mut self, other: &RefreshReport) {
+        self.blocks_refreshed += other.blocks_refreshed;
+        self.failures += other.failures;
+        self.bank_busy_secs += other.bank_busy_secs;
+    }
+}
+
 impl RefreshController {
     /// Controller with the paper's 1 µs per-block refresh cost.
     pub fn new(interval_secs: f64) -> Self {
@@ -38,8 +54,7 @@ impl RefreshController {
         Self {
             interval_secs,
             block_refresh_secs: 1e-6,
-            cursor: 0,
-            next_due: 0.0,
+            tick: 1,
         }
     }
 
@@ -54,17 +69,21 @@ impl RefreshController {
     pub fn run_until(&mut self, device: &mut PcmDevice, t: f64) -> RefreshReport {
         let mut report = RefreshReport::default();
         let step = self.per_block_period(device);
-        while self.next_due <= t {
-            match device.refresh_block(self.cursor) {
+        while self.tick as f64 * step <= t {
+            let cursor = ((self.tick - 1) % device.blocks() as u64) as usize;
+            match device.refresh_block(cursor) {
                 Ok(()) => report.blocks_refreshed += 1,
                 Err(BlockError::Uncorrectable)
                 | Err(BlockError::WearoutExhausted)
                 | Err(BlockError::WriteFailed) => report.failures += 1,
             }
-            report.bank_busy_secs += self.block_refresh_secs;
-            self.cursor = (self.cursor + 1) % device.blocks();
-            self.next_due += step;
+            self.tick += 1;
         }
+        // Busy time as one product, not accumulated 1 µs at a time: the
+        // result is then independent of how launches were grouped, so
+        // split runs and the concurrent scrubber report identical totals.
+        report.bank_busy_secs =
+            (report.blocks_refreshed + report.failures) as f64 * self.block_refresh_secs;
         report
     }
 
@@ -105,9 +124,54 @@ mod tests {
         let mut ctl = RefreshController::new(1024.0);
         dev.advance_time(1024.0);
         let rep = ctl.run_until(&mut dev, 1024.0);
-        // next_due starts at 0, so an interval plus the t=0 tick.
-        assert!(rep.blocks_refreshed >= 16, "{rep:?}");
+        // One interval covers each block exactly once — no t=0 extra.
+        assert_eq!(rep.blocks_refreshed, 16, "{rep:?}");
         assert_eq!(rep.failures, 0);
+    }
+
+    #[test]
+    fn long_horizon_scrub_count_is_exact() {
+        // The schedule regression: launches are due at tick × step, so a
+        // long run performs exactly blocks × intervals scrubs. The old
+        // `next_due += step` accumulation (plus its t=0 launch) fails
+        // this with an off-by-one or worse.
+        let mut dev = PcmDevice::builder()
+            .organization(CellOrganization::ThreeLevel(
+                pcm_core::level::LevelDesign::three_level_naive(),
+            ))
+            .blocks(4)
+            .banks(4)
+            .seed(3)
+            .build()
+            .unwrap();
+        let data = vec![0x1Du8; 64];
+        for b in 0..4 {
+            dev.write_block(b, &data).unwrap();
+        }
+        // interval / blocks = 0.075 s: not representable in binary, so
+        // an accumulating schedule drifts measurably over 8000 steps.
+        let mut ctl = RefreshController::new(0.3);
+        const INTERVALS: u64 = 2000;
+        let horizon = 0.3 * INTERVALS as f64;
+        dev.advance_time(horizon);
+        let rep = ctl.run_until(&mut dev, horizon);
+        assert_eq!(rep.blocks_refreshed, 4 * INTERVALS, "{rep:?}");
+        assert_eq!(rep.failures, 0);
+        assert_eq!(dev.stats().refreshes, 4 * INTERVALS);
+        // And the controller keeps exact count across split calls too.
+        let mut split = RefreshController::new(0.3);
+        let mut dev2 = device_4lc(16);
+        let data = vec![0x2Eu8; 64];
+        for b in 0..16 {
+            dev2.write_block(b, &data).unwrap();
+        }
+        let mut total = 0u64;
+        for k in 1..=40u64 {
+            let t = 0.3 * k as f64;
+            dev2.advance_time(t - dev2.now());
+            total += split.run_until(&mut dev2, t).blocks_refreshed;
+        }
+        assert_eq!(total, 16 * 40);
     }
 
     #[test]

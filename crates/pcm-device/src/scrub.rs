@@ -1,0 +1,461 @@
+//! Concurrent scrub for the bank-sharded engine.
+//!
+//! The paper's availability results (§4.1, §7, Figure 4) hinge on
+//! refresh: every block is read, ECC-corrected, and rewritten once per
+//! interval, stealing per-bank write bandwidth from demand traffic.
+//! [`RefreshController`](crate::refresh::RefreshController) models that
+//! for the sequential engine; this module brings the same schedule to
+//! [`ShardedPcmDevice`] so the concurrent path can model the
+//! refresh-vs-demand interaction.
+//!
+//! ## The schedule
+//!
+//! Launch `k` (1-based) is due at exactly `k × step` where
+//! `step = interval / blocks`, and scrubs global block
+//! `(k - 1) % blocks` — identical to the sequential controller. Due
+//! times are integer-tick products, never accumulated, so the schedule
+//! cannot drift. With low-order bank interleaving the global walk visits
+//! banks round-robin, which means **each bank's scrub stream is
+//! independent**: bank `b`'s `j`-th scrub is launch `j·banks + b + 1`,
+//! at local block `j % blocks_per_bank`. That is what
+//! [`BankScrubCursor`] exploits to scrub banks from separate threads.
+//!
+//! ## Determinism rule
+//!
+//! Bank RNG streams make a bank's outcomes a pure function of the
+//! sequence of operations applied to that bank. Scrub launches for a
+//! given bank always happen in schedule order (a cursor is owned by one
+//! thread at a time), so:
+//!
+//! * [`ShardedScrubber::run_until`] (inline) is **bit-identical** to
+//!   [`RefreshController::run_until`](crate::refresh::RefreshController::run_until)
+//!   on the same schedule;
+//! * [`ShardedScrubber::run_until_concurrent`] is bit-identical to the
+//!   inline run at any thread count;
+//! * interleaving demand sessions preserves the identity whenever the
+//!   *per-bank* order of demand ops relative to scrubs matches the
+//!   sequential reference (cross-validated in `tests/proptests.rs` and
+//!   `tests/concurrent_scrub.rs`).
+
+use crate::concurrent::ShardedPcmDevice;
+use crate::refresh::RefreshReport;
+
+/// The integer-tick scrub schedule for a device geometry.
+///
+/// Pure arithmetic — holds no cursor state — so it can be shared freely
+/// across threads and engines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScrubScheduler {
+    /// Target interval between successive scrubs of the same block.
+    pub interval_secs: f64,
+    /// Time one block's scrub occupies its bank (paper: 1 µs).
+    pub block_scrub_secs: f64,
+    blocks: usize,
+    banks: usize,
+}
+
+impl ScrubScheduler {
+    /// A schedule covering `dev` once per `interval_secs`, with the
+    /// paper's 1 µs per-block scrub cost.
+    pub fn new(dev: &ShardedPcmDevice, interval_secs: f64) -> Self {
+        Self::for_geometry(dev.blocks(), dev.banks(), interval_secs)
+    }
+
+    /// A schedule for an explicit geometry (`blocks` must be a multiple
+    /// of `banks`, as in any built device).
+    pub fn for_geometry(blocks: usize, banks: usize, interval_secs: f64) -> Self {
+        assert!(interval_secs > 0.0);
+        assert!(blocks > 0 && banks > 0 && blocks.is_multiple_of(banks));
+        Self {
+            interval_secs,
+            block_scrub_secs: 1e-6,
+            blocks,
+            banks,
+        }
+    }
+
+    /// Blocks covered per interval.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Banks the schedule rotates over.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Seconds between consecutive single-block launches.
+    pub fn step_secs(&self) -> f64 {
+        self.interval_secs / self.blocks as f64
+    }
+
+    /// Due time of launch `tick` (1-based): `tick × step`, computed as a
+    /// product so long horizons accumulate no error.
+    pub fn due_time(&self, tick: u64) -> f64 {
+        tick as f64 * self.step_secs()
+    }
+
+    /// Global block scrubbed by launch `tick` (1-based).
+    pub fn block_of(&self, tick: u64) -> usize {
+        ((tick - 1) % self.blocks as u64) as usize
+    }
+
+    /// Fraction of each bank's time consumed by scrub at this interval
+    /// (the §7 bandwidth tax): blocks-per-bank × cost / interval.
+    pub fn bank_utilization(&self) -> f64 {
+        let blocks_per_bank = (self.blocks / self.banks) as f64;
+        (blocks_per_bank * self.block_scrub_secs / self.interval_secs).min(1.0)
+    }
+
+    /// One cursor per bank, resuming from global launch `next_tick`
+    /// (1-based; pass 1 for a fresh schedule).
+    pub fn bank_cursors(&self, next_tick: u64) -> Vec<BankScrubCursor> {
+        let fired = next_tick - 1;
+        (0..self.banks)
+            .map(|bank| BankScrubCursor {
+                sched: *self,
+                bank,
+                // Launches 1..=fired hit bank b at j·banks + b + 1 ≤ fired.
+                done: fired
+                    .saturating_sub(bank as u64)
+                    .div_ceil(self.banks as u64),
+            })
+            .collect()
+    }
+}
+
+/// One bank's scrub stream: the launches of the global schedule that
+/// land on this bank, advanced independently of every other bank.
+///
+/// A cursor is `Send` and owns only its position, so a background
+/// scrubber hands each thread the cursors of the banks it owns and lets
+/// them interleave freely with demand sessions.
+#[derive(Debug, Clone)]
+pub struct BankScrubCursor {
+    sched: ScrubScheduler,
+    bank: usize,
+    /// Scrubs this bank has completed since schedule start.
+    done: u64,
+}
+
+impl BankScrubCursor {
+    /// The bank this cursor scrubs.
+    pub fn bank(&self) -> usize {
+        self.bank
+    }
+
+    /// Scrubs completed by this cursor since schedule start.
+    pub fn completed(&self) -> u64 {
+        self.done
+    }
+
+    /// Global launch index (1-based) of this bank's next scrub.
+    pub fn next_tick(&self) -> u64 {
+        self.done * self.sched.banks as u64 + self.bank as u64 + 1
+    }
+
+    /// Due time of this bank's next scrub.
+    pub fn next_due(&self) -> f64 {
+        self.sched.due_time(self.next_tick())
+    }
+
+    /// Global block this bank scrubs next.
+    pub fn next_block(&self) -> usize {
+        let per_bank = self.sched.blocks / self.sched.banks;
+        (self.done as usize % per_bank) * self.sched.banks + self.bank
+    }
+
+    /// Scrub every block of this bank that came due by device time `t`.
+    /// The device clock must already be at (or past) `t`.
+    pub fn run_until(&mut self, dev: &ShardedPcmDevice, t: f64) -> RefreshReport {
+        let mut report = RefreshReport::default();
+        while self.next_due() <= t {
+            match dev.refresh_block(self.next_block()) {
+                Ok(()) => report.blocks_refreshed += 1,
+                Err(_) => report.failures += 1,
+            }
+            self.done += 1;
+        }
+        // One product, not accumulation — see `RefreshController::run_until`.
+        report.bank_busy_secs =
+            (report.blocks_refreshed + report.failures) as f64 * self.sched.block_scrub_secs;
+        report
+    }
+}
+
+/// A periodic scrubber over a [`ShardedPcmDevice`] — the concurrent
+/// counterpart of [`RefreshController`](crate::refresh::RefreshController).
+///
+/// Run it inline with [`run_until`](Self::run_until) (deterministic,
+/// bit-identical to the sequential controller), fan it out with
+/// [`run_until_concurrent`](Self::run_until_concurrent), or split it
+/// into [`BankScrubCursor`]s via [`bank_cursors`](Self::bank_cursors)
+/// and drive those from long-lived scrub threads interleaved with
+/// demand sessions (then fold progress back with
+/// [`adopt_cursors`](Self::adopt_cursors)).
+#[derive(Debug, Clone)]
+pub struct ShardedScrubber {
+    sched: ScrubScheduler,
+    /// Next global launch index, 1-based.
+    tick: u64,
+}
+
+impl ShardedScrubber {
+    /// A scrubber covering `dev` once per `interval_secs`.
+    pub fn new(dev: &ShardedPcmDevice, interval_secs: f64) -> Self {
+        Self {
+            sched: ScrubScheduler::new(dev, interval_secs),
+            tick: 1,
+        }
+    }
+
+    /// The underlying schedule.
+    pub fn scheduler(&self) -> &ScrubScheduler {
+        &self.sched
+    }
+
+    /// Scrubs launched so far.
+    pub fn completed(&self) -> u64 {
+        self.tick - 1
+    }
+
+    /// Advance to device time `t`, scrubbing every block that came due,
+    /// in global launch order. Bit-identical to
+    /// [`RefreshController::run_until`](crate::refresh::RefreshController::run_until)
+    /// on the same schedule.
+    pub fn run_until(&mut self, dev: &ShardedPcmDevice, t: f64) -> RefreshReport {
+        let mut report = RefreshReport::default();
+        while self.sched.due_time(self.tick) <= t {
+            match dev.refresh_block(self.sched.block_of(self.tick)) {
+                Ok(()) => report.blocks_refreshed += 1,
+                Err(_) => report.failures += 1,
+            }
+            self.tick += 1;
+        }
+        report.bank_busy_secs =
+            (report.blocks_refreshed + report.failures) as f64 * self.sched.block_scrub_secs;
+        report
+    }
+
+    /// Advance to device time `t` on `threads` scoped threads; thread
+    /// `i` owns the cursors of banks `i, i + threads, …`. Per-bank order
+    /// is the schedule order, so the result is bit-identical to the
+    /// inline [`run_until`](Self::run_until) at any thread count.
+    pub fn run_until_concurrent(
+        &mut self,
+        dev: &ShardedPcmDevice,
+        t: f64,
+        threads: usize,
+    ) -> RefreshReport {
+        assert!(threads >= 1, "need at least one scrub thread");
+        let mut cursors = self.bank_cursors();
+        let mut report = RefreshReport::default();
+        std::thread::scope(|scope| {
+            let mut groups: Vec<Vec<&mut BankScrubCursor>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (bank, cursor) in cursors.iter_mut().enumerate() {
+                groups[bank % threads].push(cursor);
+            }
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    scope.spawn(move || {
+                        let mut rep = RefreshReport::default();
+                        for cursor in group {
+                            rep.merge(&cursor.run_until(dev, t));
+                        }
+                        rep
+                    })
+                })
+                .collect();
+            for h in handles {
+                report.merge(&h.join().expect("scrub thread panicked"));
+            }
+        });
+        self.adopt_cursors(&cursors);
+        // Recompute busy time from the merged counts so the report is
+        // bit-identical to the inline run regardless of thread grouping.
+        report.bank_busy_secs =
+            (report.blocks_refreshed + report.failures) as f64 * self.sched.block_scrub_secs;
+        report
+    }
+
+    /// Split into one cursor per bank, resuming from the scrubber's
+    /// current position.
+    pub fn bank_cursors(&self) -> Vec<BankScrubCursor> {
+        self.sched.bank_cursors(self.tick)
+    }
+
+    /// Fold per-bank cursor progress back into the global position.
+    /// Cursors must originate from [`bank_cursors`](Self::bank_cursors)
+    /// of this scrubber (one per bank) and have been advanced to a
+    /// common horizon, so the completed launches form a prefix of the
+    /// global schedule.
+    pub fn adopt_cursors(&mut self, cursors: &[BankScrubCursor]) {
+        assert_eq!(cursors.len(), self.sched.banks, "one cursor per bank");
+        // The global position is the smallest pending launch across banks.
+        self.tick = cursors
+            .iter()
+            .map(BankScrubCursor::next_tick)
+            .min()
+            .expect("at least one bank");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DeviceBuilder;
+    use crate::device::CellOrganization;
+    use crate::refresh::RefreshController;
+    use pcm_core::level::LevelDesign;
+
+    fn builder() -> DeviceBuilder {
+        DeviceBuilder::new()
+            .organization(CellOrganization::ThreeLevel(
+                LevelDesign::three_level_naive(),
+            ))
+            .blocks(16)
+            .banks(4)
+            .seed(2024)
+    }
+
+    #[test]
+    fn schedule_matches_sequential_walk() {
+        let sched = ScrubScheduler::for_geometry(16, 4, 1.6);
+        assert!((sched.step_secs() - 0.1).abs() < 1e-15);
+        // Launches walk blocks 0, 1, 2, … — banks round-robin.
+        for tick in 1..=32u64 {
+            assert_eq!(sched.block_of(tick), ((tick - 1) % 16) as usize);
+        }
+        assert!((sched.due_time(16) - 1.6).abs() < 1e-12);
+        // Bank utilization: 4 blocks/bank × 1 µs / 1.6 s.
+        assert!((sched.bank_utilization() - 4.0e-6 / 1.6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn cursors_partition_the_schedule() {
+        let sched = ScrubScheduler::for_geometry(16, 4, 1.6);
+        let cursors = sched.bank_cursors(1);
+        // Bank b's first launch is tick b + 1, at block b.
+        for (b, c) in cursors.iter().enumerate() {
+            assert_eq!(c.next_tick(), b as u64 + 1);
+            assert_eq!(c.next_block(), b);
+        }
+        // Resuming mid-round: after 6 launches, banks 0 and 1 have done
+        // 2, banks 2 and 3 have done 1.
+        let resumed = sched.bank_cursors(7);
+        let done: Vec<u64> = resumed.iter().map(BankScrubCursor::completed).collect();
+        assert_eq!(done, vec![2, 2, 1, 1]);
+        // Their next ticks tile the upcoming launches exactly.
+        let mut next: Vec<u64> = resumed.iter().map(BankScrubCursor::next_tick).collect();
+        next.sort_unstable();
+        assert_eq!(next, vec![7, 8, 9, 10]);
+        // And local blocks wrap per bank: bank 0's third scrub is block 8.
+        assert_eq!(resumed[0].next_block(), 8);
+    }
+
+    #[test]
+    fn inline_scrub_is_bit_identical_to_sequential_controller() {
+        let mut seq = builder().build().unwrap();
+        let sharded = builder().build_sharded().unwrap();
+        let data: Vec<u8> = (0..64).map(|i| i as u8 ^ 0xB4).collect();
+        for b in 0..16 {
+            seq.write_block(b, &data).unwrap();
+            sharded.write_block(b, &data).unwrap();
+        }
+        let mut ctl = RefreshController::new(1.6);
+        let mut scrubber = ShardedScrubber::new(&sharded, 1.6);
+        for k in 1..=5u32 {
+            let t = 1.6 * k as f64;
+            seq.advance_time(t - seq.now());
+            sharded.advance_time(t - sharded.now());
+            let a = ctl.run_until(&mut seq, t);
+            let b = scrubber.run_until(&sharded, t);
+            assert_eq!(a, b, "report diverged at period {k}");
+        }
+        assert_eq!(seq.stats(), sharded.stats());
+        for b in 0..16 {
+            assert_eq!(
+                seq.read_block(b).unwrap(),
+                sharded.read_block(b).unwrap(),
+                "block {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_scrub_matches_inline_at_any_thread_count() {
+        let run = |threads: Option<usize>| {
+            let dev = builder().build_sharded().unwrap();
+            let data = vec![0x6Bu8; 64];
+            for b in 0..16 {
+                dev.write_block(b, &data).unwrap();
+            }
+            let mut scrubber = ShardedScrubber::new(&dev, 1.6);
+            let mut total = RefreshReport::default();
+            for k in 1..=4u32 {
+                let t = 1.6 * k as f64;
+                dev.advance_time(t - dev.now());
+                total.merge(&match threads {
+                    None => scrubber.run_until(&dev, t),
+                    Some(n) => scrubber.run_until_concurrent(&dev, t, n),
+                });
+            }
+            assert_eq!(scrubber.completed(), 64);
+            let blocks: Vec<usize> = (0..16).collect();
+            let reads: Vec<Vec<u8>> = dev
+                .read_batch(&blocks)
+                .into_iter()
+                .map(|r| r.unwrap().data)
+                .collect();
+            (total, reads, dev.stats(), dev.metrics().snapshot())
+        };
+        let reference = run(None);
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(run(Some(threads)), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn split_cursors_resume_the_global_schedule() {
+        let dev = builder().build_sharded().unwrap();
+        let data = vec![0x91u8; 64];
+        for b in 0..16 {
+            dev.write_block(b, &data).unwrap();
+        }
+        let mut scrubber = ShardedScrubber::new(&dev, 1.6);
+        // Stop mid-round: 0.65 s covers launches 1..=6 (step 0.1 s).
+        dev.advance_time(0.65);
+        let rep = scrubber.run_until(&dev, 0.65);
+        assert_eq!(rep.blocks_refreshed, 6);
+        // Split, advance each bank on its own, and fold back.
+        let mut cursors = scrubber.bank_cursors();
+        dev.advance_time(0.95);
+        let mut rep = RefreshReport::default();
+        for c in cursors.iter_mut().rev() {
+            rep.merge(&c.run_until(&dev, 1.6));
+        }
+        assert_eq!(rep.blocks_refreshed, 10);
+        scrubber.adopt_cursors(&cursors);
+        assert_eq!(scrubber.completed(), 16);
+        assert_eq!(dev.stats().refreshes, 16);
+    }
+
+    #[test]
+    fn long_horizon_concurrent_count_is_exact() {
+        let dev = builder().build_sharded().unwrap();
+        let data = vec![0x5Eu8; 64];
+        for b in 0..16 {
+            dev.write_block(b, &data).unwrap();
+        }
+        let mut scrubber = ShardedScrubber::new(&dev, 0.3);
+        const INTERVALS: u64 = 200;
+        let horizon = 0.3 * INTERVALS as f64;
+        dev.advance_time(horizon);
+        let rep = scrubber.run_until_concurrent(&dev, horizon, 4);
+        assert_eq!(rep.blocks_refreshed, 16 * INTERVALS);
+        assert_eq!(rep.failures, 0);
+        assert_eq!(dev.stats().refreshes, 16 * INTERVALS);
+    }
+}

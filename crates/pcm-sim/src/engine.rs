@@ -11,6 +11,7 @@
 
 use crate::config::{DesignPoint, EnergyModel, SimParams};
 use crate::workload::{TraceGenerator, WorkloadProfile};
+use pcm_device::DeviceMetrics;
 use std::collections::VecDeque;
 
 /// Outcome of one simulation run.
@@ -44,6 +45,15 @@ pub struct SimResult {
     pub avg_read_latency_ns: f64,
     /// Worst observed demand-read latency, ns.
     pub max_read_latency_ns: f64,
+    /// Fraction of the device's write-token bandwidth consumed by
+    /// refresh over this run (`refreshes × token_period / exec_time`) —
+    /// the §4.1 bandwidth tax, ≈ 0.42 for the default 4LC-REF geometry
+    /// and exactly 0 for refresh-free designs.
+    pub scrub_bandwidth_tax: f64,
+    /// Per-bank busy fraction over the run (demand reads and writes plus
+    /// bank-blocking refresh), from the [`DeviceMetrics`] registry the
+    /// engine records into. One entry per bank, each in `[0, 1]`.
+    pub bank_utilization: Vec<f64>,
 }
 
 impl SimResult {
@@ -105,6 +115,7 @@ pub fn simulate_ops(
         f64::INFINITY
     };
 
+    let metrics = DeviceMetrics::new(params.banks);
     let mut bank_free = vec![0.0f64; params.banks];
     let mut token_time = 0.0f64; // next write token grant time
     let mut core_time = 0.0f64;
@@ -142,6 +153,9 @@ pub fn simulate_ops(
             if design.refresh_blocks_bank() {
                 let start = grant.max(bank_free[refresh_bank]);
                 bank_free[refresh_bank] = start + params.block_refresh_ns;
+                metrics
+                    .bank(refresh_bank)
+                    .record_scrub(params.block_refresh_ns as u64);
             }
             refresh_bank = (refresh_bank + 1) % params.banks;
             refreshes += 1;
@@ -166,6 +180,9 @@ pub fn simulate_ops(
             bank_free[bank] = finish;
             latest_finish = latest_finish.max(finish);
             write_queue.push_back(finish);
+            metrics
+                .bank(bank)
+                .record_write(0, params.write_latency_ns as u64);
             writes += 1;
             if write_queue.len() > params.write_queue_depth {
                 let oldest = write_queue.pop_front().expect("non-empty");
@@ -180,6 +197,9 @@ pub fn simulate_ops(
             read_latency_sum += latency;
             read_latency_max = read_latency_max.max(latency);
             outstanding_reads.push_back(finish);
+            metrics
+                .bank(bank)
+                .record_read(0, params.read_latency_ns as u64);
             reads += 1;
             if outstanding_reads.len() > read_window {
                 let oldest = outstanding_reads.pop_front().expect("non-empty");
@@ -216,6 +236,12 @@ pub fn simulate_ops(
             0.0
         },
         max_read_latency_ns: read_latency_max,
+        scrub_bandwidth_tax: if exec > 0.0 {
+            refreshes as f64 * token_period_ns / exec
+        } else {
+            0.0
+        },
+        bank_utilization: metrics.snapshot().utilization(exec),
     }
 }
 
@@ -364,6 +390,37 @@ mod tests {
         assert!(r.exec_time_ns >= 3125.0);
         assert!(r.avg_read_latency_ns >= 205.0, "{}", r.avg_read_latency_ns);
         assert!(r.max_read_latency_ns >= r.avg_read_latency_ns);
+    }
+
+    #[test]
+    fn scrub_tax_matches_analytic_share() {
+        // §4.1: refresh eats ~42% of write tokens at the default
+        // geometry. The measured tax is refreshes × token period over
+        // the run, so it converges on `refresh_write_share`.
+        let share = SimParams::default().refresh_write_share();
+        for d in [DesignPoint::FourLcRef, DesignPoint::FourLcRefOpt] {
+            let tax = run(d, "mcf").scrub_bandwidth_tax;
+            assert!((tax / share - 1.0).abs() < 0.05, "{d:?}: {tax} vs {share}");
+        }
+        assert_eq!(
+            run(DesignPoint::FourLcNoRef, "mcf").scrub_bandwidth_tax,
+            0.0
+        );
+        assert_eq!(run(DesignPoint::ThreeLc, "mcf").scrub_bandwidth_tax, 0.0);
+    }
+
+    #[test]
+    fn bank_utilization_is_per_bank_and_bounded() {
+        let r = run(DesignPoint::FourLcRef, "STREAM");
+        assert_eq!(r.bank_utilization.len(), SimParams::default().banks);
+        assert!(r.bank_utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(r.bank_utilization.iter().any(|&u| u > 0.0));
+        // Bank-blocking refresh shows up in busy time; the OPT
+        // idealization's scrubs never occupy a bank.
+        let o = run(DesignPoint::FourLcRefOpt, "STREAM");
+        let sum_r: f64 = r.bank_utilization.iter().sum();
+        let sum_o: f64 = o.bank_utilization.iter().sum();
+        assert!(sum_r > sum_o, "REF {sum_r} vs REF-OPT {sum_o}");
     }
 
     #[test]

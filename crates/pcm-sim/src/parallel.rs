@@ -96,6 +96,8 @@ pub fn figure16_parallel(
                     raw.refresh_energy_nj / base_energy,
                     raw.static_energy_nj / base_energy,
                 ],
+                scrub_bandwidth_tax: raw.scrub_bandwidth_tax,
+                bank_utilization: raw.bank_utilization.clone(),
                 raw: raw.clone(),
             });
         }

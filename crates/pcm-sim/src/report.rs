@@ -22,6 +22,11 @@ pub struct Figure16Bar {
     /// Energy breakdown (read, write, refresh, static) normalized to
     /// 4LC-REF's total — the stacked-bar decomposition of Figure 16.
     pub energy_breakdown: [f64; 4],
+    /// Fraction of write-token bandwidth this design spent on refresh
+    /// (the §4.1 scrub bandwidth tax; 0 for refresh-free designs).
+    pub scrub_bandwidth_tax: f64,
+    /// Per-bank busy fraction over the run, one entry per bank.
+    pub bank_utilization: Vec<f64>,
     /// The raw simulation result behind the bar.
     pub raw: SimResult,
 }
@@ -59,6 +64,8 @@ pub fn figure16(
                     raw.refresh_energy_nj / base_energy,
                     raw.static_energy_nj / base_energy,
                 ],
+                scrub_bandwidth_tax: raw.scrub_bandwidth_tax,
+                bank_utilization: raw.bank_utilization.clone(),
                 raw,
             });
         }
@@ -147,6 +154,19 @@ mod tests {
         for b in matrix() {
             let sum: f64 = b.energy_breakdown.iter().sum();
             assert!((sum - b.norm_energy).abs() < 1e-9, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn bars_carry_scrub_tax_and_utilization() {
+        let params = SimParams::default();
+        for b in matrix() {
+            assert_eq!(b.bank_utilization.len(), params.banks, "{b:?}");
+            if b.design.refreshes() {
+                assert!(b.scrub_bandwidth_tax > 0.3, "{:?}", b.design);
+            } else {
+                assert_eq!(b.scrub_bandwidth_tax, 0.0, "{:?}", b.design);
+            }
         }
     }
 

@@ -22,12 +22,17 @@ use crate::workload::MemOp;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileTrace {
     ops: Vec<MemOp>,
+    /// Instruction count of the last record *as written in the trace*,
+    /// before monotonicity nudging. Intensity statistics use this so
+    /// nudged duplicates don't skew them.
+    raw_instructions: u64,
 }
 
 /// Parse failure, with the 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceParseError {
-    /// Line number of the offending record.
+    /// Line number of the offending record; `0` for configuration errors
+    /// that are independent of any line (e.g. a zero-block device).
     pub line: usize,
     /// Human-readable description.
     pub message: String,
@@ -35,7 +40,11 @@ pub struct TraceParseError {
 
 impl std::fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.message)
+        if self.line == 0 {
+            write!(f, "trace: {}", self.message)
+        } else {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -44,8 +53,16 @@ impl std::error::Error for TraceParseError {}
 impl FileTrace {
     /// Parse trace text (see module docs for the format), mapping
     /// addresses onto `device_blocks` 64-byte blocks.
+    ///
+    /// A zero-block device is a configuration error, reported as a
+    /// [`TraceParseError`] with `line == 0` rather than a panic.
     pub fn parse(text: &str, device_blocks: u64) -> Result<FileTrace, TraceParseError> {
-        assert!(device_blocks >= 1);
+        if device_blocks == 0 {
+            return Err(TraceParseError {
+                line: 0,
+                message: "device must have at least one block".into(),
+            });
+        }
         let mut ops = Vec::new();
         let mut last_raw = 0u64;
         let mut last_emitted = 0u64;
@@ -95,7 +112,16 @@ impl FileTrace {
                 block: (addr / 64) % device_blocks,
             });
         }
-        Ok(FileTrace { ops })
+        Ok(FileTrace {
+            ops,
+            raw_instructions: last_raw,
+        })
+    }
+
+    /// Instruction count of the final trace record as written, before
+    /// any monotonicity nudging.
+    pub fn raw_instructions(&self) -> u64 {
+        self.raw_instructions
     }
 
     /// Number of operations.
@@ -118,13 +144,14 @@ impl FileTrace {
         self.ops.iter().copied()
     }
 
-    /// Observed memory intensity in accesses per kilo-instruction.
+    /// Observed memory intensity in accesses per kilo-instruction,
+    /// over the trace's *raw* instruction span — nudged duplicate
+    /// counts don't inflate the denominator.
     pub fn mpki(&self) -> f64 {
-        match self.ops.last() {
-            Some(last) if last.at_instruction > 0 => {
-                self.ops.len() as f64 * 1000.0 / last.at_instruction as f64
-            }
-            _ => 0.0,
+        if self.raw_instructions > 0 {
+            self.ops.len() as f64 * 1000.0 / self.raw_instructions as f64
+        } else {
+            0.0
         }
     }
 
@@ -184,6 +211,17 @@ mod tests {
         let t = FileTrace::parse("5 R 0\n5 R 64\n5 W 128\n", 16).unwrap();
         let at: Vec<u64> = t.ops().iter().map(|o| o.at_instruction).collect();
         assert_eq!(at, vec![5, 6, 7]);
+        // Intensity uses the raw final count (5), not the nudged 7:
+        // 3 accesses over 5 instructions = 600 MPKI.
+        assert_eq!(t.raw_instructions(), 5);
+        assert!((t.mpki() - 600.0).abs() < 1e-12, "{}", t.mpki());
+    }
+
+    #[test]
+    fn zero_block_device_is_an_error_not_a_panic() {
+        let e = FileTrace::parse("1000 R 0x40\n", 0).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.to_string().contains("at least one block"), "{e}");
     }
 
     #[test]

@@ -357,4 +357,112 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn concurrent_scrub_matches_sequential_refresh_path(
+        seed in 0u64..1000,
+        rounds in vec(vec((0usize..16, any::<bool>()), 0..12), 1..4),
+    ) {
+        // The tentpole determinism rule: scrub-by-cursor on the sharded
+        // engine, interleaved with demand sessions, is bit-identical to
+        // the sequential RefreshController-then-demand path whenever the
+        // per-bank order of operations matches — here, each round does
+        // that bank's due scrubs first, then its demand ops in list
+        // order, exactly like the sequential reference.
+        use mlc_pcm::device::{
+            BankScrubCursor, CellOrganization, PcmDevice, RefreshController, ShardedScrubber,
+        };
+        const BLOCKS: usize = 16;
+        const BANKS: usize = 4;
+        const INTERVAL: f64 = 1.6; // step = 0.1 s: boundaries are exact
+        let build = || {
+            PcmDevice::builder()
+                .organization(CellOrganization::ThreeLevel(
+                    LevelDesign::three_level_naive(),
+                ))
+                .blocks(BLOCKS)
+                .banks(BANKS)
+                .seed(seed)
+        };
+        let payload = |b: usize| vec![b as u8 ^ 0x5A; 64];
+
+        // Sequential reference: controller scrubs, then demand ops.
+        let mut seq = build().build().unwrap();
+        for b in 0..BLOCKS {
+            seq.write_block(b, &payload(b)).unwrap();
+        }
+        let mut ctl = RefreshController::new(INTERVAL);
+        for (k, ops) in rounds.iter().enumerate() {
+            let t = INTERVAL * (k + 1) as f64;
+            seq.advance_time(t - seq.now());
+            ctl.run_until(&mut seq, t);
+            for &(block, is_write) in ops {
+                if is_write {
+                    seq.write_block(block, &payload(block)).unwrap();
+                } else {
+                    seq.read_block(block).unwrap();
+                }
+            }
+        }
+        let seq_stats = seq.bank_stats();
+        let seq_metrics = seq.metrics().snapshot();
+        let seq_data: Vec<Vec<u8>> =
+            (0..BLOCKS).map(|b| seq.read_block(b).unwrap().data).collect();
+
+        for threads in [1usize, 2, 8] {
+            let dev = build().build_sharded().unwrap();
+            for b in 0..BLOCKS {
+                dev.write_block(b, &payload(b)).unwrap();
+            }
+            let mut scrubber = ShardedScrubber::new(&dev, INTERVAL);
+            for (k, ops) in rounds.iter().enumerate() {
+                let t = INTERVAL * (k + 1) as f64;
+                dev.advance_time(t - dev.now());
+                let mut cursors = scrubber.bank_cursors();
+                std::thread::scope(|scope| {
+                    let mut groups: Vec<Vec<&mut BankScrubCursor>> =
+                        (0..threads).map(|_| Vec::new()).collect();
+                    for cursor in cursors.iter_mut() {
+                        groups[cursor.bank() % threads].push(cursor);
+                    }
+                    for group in groups {
+                        let dev = &dev;
+                        scope.spawn(move || {
+                            let mut session = dev.session();
+                            let mut owned = Vec::new();
+                            for cursor in group {
+                                cursor.run_until(dev, t);
+                                owned.push(cursor.bank());
+                            }
+                            for &(block, is_write) in ops {
+                                if !owned.contains(&(block % BANKS)) {
+                                    continue;
+                                }
+                                if is_write {
+                                    session.write_block(block, &payload(block)).unwrap();
+                                } else {
+                                    session.read_block(block).unwrap();
+                                }
+                            }
+                        });
+                    }
+                });
+                scrubber.adopt_cursors(&cursors);
+            }
+            prop_assert_eq!(&dev.bank_stats(), &seq_stats, "stats, threads={}", threads);
+            prop_assert_eq!(
+                &dev.metrics().snapshot(),
+                &seq_metrics,
+                "metrics, threads={}",
+                threads
+            );
+            for (b, want) in seq_data.iter().enumerate() {
+                prop_assert_eq!(
+                    &dev.read_block(b).unwrap().data,
+                    want,
+                    "block {} at threads={}", b, threads
+                );
+            }
+        }
+    }
 }
