@@ -27,9 +27,12 @@ impl EnumerativeCode {
     /// is the largest `k` with `2^k ≤ base^symbols` (capped so arithmetic
     /// fits in `u64`).
     pub fn new(base: u8, symbols: usize) -> Self {
+        // pcm-lint: allow(no-panic-lib) — constructor contract: the base is a design-table constant, checked once at code construction
         assert!((2..=16).contains(&base), "base must be 2..=16");
+        // pcm-lint: allow(no-panic-lib) — constructor contract: a code needs at least one symbol per group
         assert!(symbols >= 1);
         let capacity_log2 = symbols as f64 * (base as f64).log2();
+        // pcm-lint: allow(no-panic-lib) — constructor contract: group capacity must fit u64 arithmetic
         assert!(
             capacity_log2 < 63.0,
             "group too large for u64 arithmetic: {symbols} base-{base} symbols"
@@ -78,6 +81,7 @@ impl EnumerativeCode {
     /// Encode a group value (< 2^bits) into base-`b` digits, least
     /// significant digit first.
     pub fn encode_group(&self, value: u64) -> Vec<u8> {
+        // pcm-lint: allow(no-panic-lib) — encode contract: the value must fit the group payload; violating it is a caller bug, not data corruption
         assert!(value < 1u64 << self.bits, "value {value} exceeds payload");
         let mut v = value;
         let mut out = Vec::with_capacity(self.symbols);
@@ -94,6 +98,7 @@ impl EnumerativeCode {
         assert_eq!(digits.len(), self.symbols);
         let mut v = 0u64;
         for &d in digits.iter().rev() {
+            // pcm-lint: allow(no-panic-lib) — decode contract: symbols are produced by sensing against this code's own base
             assert!(d < self.base, "digit {d} out of alphabet");
             v = v * self.base as u64 + d as u64;
         }
@@ -121,8 +126,10 @@ impl EnumerativeCode {
     /// Unpack symbols back to `len_bits` of data; `None` if any group
     /// holds a spare codeword (unrepaired failure marker).
     pub fn decode_block(&self, symbols: &[u8], len_bits: usize) -> Option<BitVec> {
+        // pcm-lint: allow(no-panic-lib) — decode contract: block length is a whole number of groups by construction of encode_block
         assert!(symbols.len().is_multiple_of(self.symbols));
         let groups = symbols.len() / self.symbols;
+        // pcm-lint: allow(no-panic-lib) — decode contract: the requested bit count must fit the decoded groups
         assert!(groups * self.bits >= len_bits);
         let mut out = BitVec::zeros(len_bits);
         for g in 0..groups {

@@ -43,6 +43,7 @@ pub fn encode_block(data: &BitVec) -> Vec<usize> {
 
 /// Decode 4LC state indices back into `len_bits` of data.
 pub fn decode_block(states: &[usize], len_bits: usize) -> BitVec {
+    // pcm-lint: allow(no-panic-lib) — decode contract: callers size `states` from the block geometry; a mismatch is a wiring bug
     assert!(states.len() * 2 >= len_bits);
     let mut out = BitVec::zeros(len_bits);
     for (c, &s) in states.iter().enumerate() {

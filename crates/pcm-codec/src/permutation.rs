@@ -31,11 +31,15 @@ pub enum PermError {
     /// The sensed permutation's rank exceeds the data range (drift
     /// reordered cells into an unused permutation).
     OutOfRange,
+    /// The input ranks are not a permutation of `0..CELLS_PER_GROUP`
+    /// (a repeated or out-of-range rank).
+    NotAPermutation,
 }
 
 /// Encode an 11-bit value as a permutation: `perm[i]` is the rank
 /// (0 = lowest resistance) assigned to cell `i`.
 pub fn encode(value: u16) -> [u8; CELLS_PER_GROUP] {
+    // pcm-lint: allow(no-panic-lib) — encode contract: the permutation group stores 11 bits; callers split payloads accordingly
     assert!(
         (value as usize) < (1 << BITS_PER_GROUP),
         "permutation code stores 11 bits, got {value}"
@@ -66,7 +70,7 @@ pub fn rank(perm: &[u8; CELLS_PER_GROUP]) -> Result<u16, PermError> {
         let idx = remaining
             .iter()
             .position(|&r| r == p)
-            .expect("input must be a permutation of 0..7");
+            .ok_or(PermError::NotAPermutation)?;
         v += idx * base;
         remaining.remove(idx);
         if i + 1 < CELLS_PER_GROUP {
@@ -83,12 +87,12 @@ pub fn rank(perm: &[u8; CELLS_PER_GROUP]) -> Result<u16, PermError> {
 /// unrank. Ties are ambiguous (a real sensing circuit would see them as
 /// metastable).
 pub fn decode_analog(levels: &[f64; CELLS_PER_GROUP]) -> Result<u16, PermError> {
+    if levels.iter().any(|l| l.is_nan()) {
+        // A NaN read is an invalid sensing, indistinguishable from a tie.
+        return Err(PermError::AmbiguousOrder);
+    }
     let mut order: Vec<usize> = (0..CELLS_PER_GROUP).collect();
-    order.sort_by(|&a, &b| {
-        levels[a]
-            .partial_cmp(&levels[b])
-            .expect("levels must not be NaN")
-    });
+    order.sort_by(|&a, &b| levels[a].total_cmp(&levels[b]));
     for w in order.windows(2) {
         if levels[w[0]] == levels[w[1]] {
             return Err(PermError::AmbiguousOrder);
@@ -272,6 +276,24 @@ mod tests {
     fn ties_are_ambiguous() {
         let levels = [3.0, 3.5, 3.5, 4.0, 4.5, 5.0, 5.5];
         assert_eq!(decode_analog(&levels), Err(PermError::AmbiguousOrder));
+    }
+
+    #[test]
+    fn nan_reads_are_ambiguous() {
+        let levels = [3.0, f64::NAN, 3.5, 4.0, 4.5, 5.0, 5.5];
+        assert_eq!(decode_analog(&levels), Err(PermError::AmbiguousOrder));
+    }
+
+    #[test]
+    fn non_permutations_are_detected() {
+        assert_eq!(
+            rank(&[0, 0, 1, 2, 3, 4, 5]),
+            Err(PermError::NotAPermutation)
+        );
+        assert_eq!(
+            rank(&[0, 1, 2, 3, 4, 5, 7]),
+            Err(PermError::NotAPermutation)
+        );
     }
 
     #[test]

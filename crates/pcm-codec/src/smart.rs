@@ -26,6 +26,7 @@ pub fn apply(tag: u8, state: usize) -> usize {
     match tag {
         0..=3 => (state + tag as usize) % 4,
         4..=7 => (3 - state + (tag as usize - 4)) % 4,
+        // pcm-lint: allow(no-panic-lib) — tag is 3 bits by construction; encode_block only emits 0..=7
         _ => panic!("tag {tag} out of range"),
     }
 }
@@ -37,6 +38,7 @@ pub fn unapply(tag: u8, state: usize) -> usize {
     match tag {
         0..=3 => (state + 4 - tag as usize) % 4,
         4..=7 => (3 + (tag as usize - 4) - state) % 4,
+        // pcm-lint: allow(no-panic-lib) — tag is 3 bits by construction; encode_block only emits 0..=7
         _ => panic!("tag {tag} out of range"),
     }
 }
@@ -65,6 +67,7 @@ pub fn encode_block(states: &mut [usize]) -> u8 {
             (tag, cost)
         })
         .min_by_key(|&(tag, cost)| (cost, tag))
+        // pcm-lint: allow(no-panic-lib) — infallible: the iterator over TRANSFORMS = 8 candidate tags is never empty
         .expect("at least one transform");
     for s in states.iter_mut() {
         *s = apply(best_tag, *s);

@@ -46,6 +46,7 @@ pub fn trits_to_bits(trits: &[Trit]) -> BitVec {
 /// so any choice is one bit from truth; S2 is the middle ground). With a
 /// correctly functioning ECC ahead of this step the list is empty.
 pub fn bits_to_trits(bits: &BitVec) -> (Vec<Trit>, Vec<usize>) {
+    // pcm-lint: allow(no-panic-lib) — decode contract: TEC codewords are bit pairs; an odd length is an upstream framing bug
     assert!(bits.len().is_multiple_of(2));
     let n = bits.len() / 2;
     let mut out = Vec::with_capacity(n);

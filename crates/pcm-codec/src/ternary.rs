@@ -40,6 +40,7 @@ impl Trit {
             0 => Trit::S1,
             1 => Trit::S2,
             2 => Trit::S4,
+            // pcm-lint: allow(no-panic-lib) — contract: trit indices are bounded by the 3-ON-2 group layout
             _ => panic!("trit index {i} out of range"),
         }
     }

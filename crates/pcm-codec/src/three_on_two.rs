@@ -41,6 +41,7 @@ pub enum PairValue {
 /// Encode three bits (0..=7) onto a pair of trits per Table 2.
 #[inline]
 pub fn encode_pair(value: u8) -> (Trit, Trit) {
+    // pcm-lint: allow(no-panic-lib) — encode contract: 3-ON-2 carries 3 bits per pair; callers split input accordingly
     assert!(value < 8, "3-ON-2 encodes 3 bits, got {value}");
     (
         Trit::from_index((value / 3) as usize),
@@ -91,11 +92,13 @@ pub fn encode_block(data: &BitVec) -> Vec<Trit> {
 /// bits; the wearout layer substitutes spares *before* calling this in the
 /// real read path (Figure 9), so INV here means an unrepaired failure.
 pub fn decode_block(trits: &[Trit], len_bits: usize) -> (BitVec, Vec<bool>) {
+    // pcm-lint: allow(no-panic-lib) — decode contract: trit streams are whole pairs; an odd length is an upstream framing bug
     assert!(
         trits.len().is_multiple_of(2),
         "trit stream must be whole pairs"
     );
     let pairs = trits.len() / 2;
+    // pcm-lint: allow(no-panic-lib) — decode contract: callers request at most the bits the pairs can carry
     assert!(
         pairs * 3 >= len_bits,
         "not enough pairs for {len_bits} bits"

@@ -42,7 +42,9 @@ pub fn write_cell_with_tolerance(
     tolerance_sigma: f64,
     rng: &mut Xoshiro256pp,
 ) -> WrittenCell {
+    // pcm-lint: allow(no-panic-lib) — write contract: the target state comes from a validated LevelDesign
     assert!(state < design.n_levels(), "state {state} out of range");
+    // pcm-lint: allow(no-panic-lib) — write contract: the write tolerance is a positive design parameter
     assert!(tolerance_sigma > 0.0);
     let (z, attempts) = rng.next_truncated_normal(tolerance_sigma);
     let logr0 = design.states[state].nominal_logr + z * design.sigma_logr;

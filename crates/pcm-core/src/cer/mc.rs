@@ -76,6 +76,7 @@ impl MonteCarloCer {
     /// Run the simulation for `design` over `times` (seconds, need not be
     /// sorted).
     pub fn estimate(&self, design: &LevelDesign, times: &[f64]) -> McCerReport {
+        // pcm-lint: allow(no-panic-lib) — contract: evaluation-time grids come from the experiment tables and are never empty
         assert!(!times.is_empty(), "need at least one evaluation time");
         let n_states = design.n_levels();
         let n_times = times.len();
@@ -122,6 +123,7 @@ impl MonteCarloCer {
                 })
                 .collect();
             for h in handles {
+                // pcm-lint: allow(no-panic-lib) — propagates a worker panic; the join cannot fail otherwise
                 worker_counts.push(h.join().expect("MC worker panicked"));
             }
         });

@@ -19,6 +19,7 @@ impl GaussLegendre {
     /// `P_n`, found by Newton iteration from the Chebyshev-like initial
     /// guesses (the classical `gauleg` construction).
     pub fn new(n: usize) -> Self {
+        // pcm-lint: allow(no-panic-lib) — contract: the quadrature order is a positive literal at every call site
         assert!(n >= 1, "need at least one quadrature node");
         let mut nodes = vec![0.0; n];
         let mut weights = vec![0.0; n];

@@ -23,6 +23,7 @@
 /// Valid for `x > 0`. Relative error below 2e-10 over the full range, far
 /// below the Monte-Carlo noise floor of any experiment in the paper.
 pub fn ln_gamma(x: f64) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — domain contract of ln_gamma, mirroring the mathematical definition
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     // Lanczos coefficients for g = 7, n = 9.
     const G: f64 = 7.0;
@@ -53,6 +54,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 
 /// Regularized lower incomplete gamma function `P(a, x)`.
 pub fn gamma_p(a: f64, x: f64) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — domain contract of the incomplete-gamma family
     assert!(a > 0.0 && x >= 0.0, "gamma_p domain: a > 0, x >= 0");
     if x == 0.0 {
         return 0.0;
@@ -66,6 +68,7 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 
 /// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
 pub fn gamma_q(a: f64, x: f64) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — domain contract of the incomplete-gamma family
     assert!(a > 0.0 && x >= 0.0, "gamma_q domain: a > 0, x >= 0");
     if x == 0.0 {
         return 1.0;
@@ -162,6 +165,7 @@ pub fn normal_sf(z: f64) -> f64 {
 /// Acklam's rational approximation (~1.15e-9 relative error) refined with a
 /// single Halley iteration, bringing it to near machine precision.
 pub fn inverse_normal_cdf(p: f64) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — domain contract: the inverse CDF diverges at 0 and 1
     assert!(
         p > 0.0 && p < 1.0,
         "inverse_normal_cdf requires p in (0, 1), got {p}"
@@ -220,7 +224,9 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
 
 /// Regularized incomplete beta function `I_x(a, b)`.
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — domain contract of the incomplete-beta function
     assert!(a > 0.0 && b > 0.0, "beta_inc requires a, b > 0");
+    // pcm-lint: allow(no-panic-lib) — domain contract of the incomplete-beta function
     assert!((0.0..=1.0).contains(&x), "beta_inc requires x in [0, 1]");
     if x == 0.0 {
         return 0.0;
@@ -289,6 +295,7 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
 /// function so that it stays accurate for astronomically small tails
 /// (Figure 5 plots block error rates down to 1e-14 and below).
 pub fn binomial_sf(n: u64, k: u64, p: f64) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — domain contract: a probability must lie in [0, 1]
     assert!((0.0..=1.0).contains(&p), "binomial_sf requires p in [0, 1]");
     if k >= n {
         return 0.0;
@@ -305,13 +312,16 @@ pub fn binomial_sf(n: u64, k: u64, p: f64) -> f64 {
 
 /// Natural log of `n choose k`.
 pub fn ln_choose(n: u64, k: u64) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — domain contract: ln_choose needs k <= n
     assert!(k <= n, "ln_choose requires k <= n");
     ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
 }
 
 /// Exact binomial pmf `P(X = k)` in a numerically stable (log-domain) way.
 pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — domain contract: a probability must lie in [0, 1]
     assert!((0.0..=1.0).contains(&p));
+    // pcm-lint: allow(no-panic-lib) — domain contract: binomial tails need k <= n
     assert!(k <= n);
     if p == 0.0 {
         return if k == 0 { 1.0 } else { 0.0 };

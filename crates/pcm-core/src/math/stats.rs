@@ -114,6 +114,7 @@ pub struct Proportion {
 impl Proportion {
     /// Construct; `hits <= trials` is enforced.
     pub fn new(hits: u64, trials: u64) -> Self {
+        // pcm-lint: allow(no-panic-lib) — contract: a hit count cannot exceed its trial count
         assert!(hits <= trials, "hits {hits} > trials {trials}");
         Self { hits, trials }
     }
@@ -132,6 +133,7 @@ impl Proportion {
     /// Behaves sensibly at 0 hits: the lower bound is exactly 0 and the
     /// upper bound is ~`z²/n`, which is the "resolution" of the experiment.
     pub fn wilson_interval(&self, alpha: f64) -> (f64, f64) {
+        // pcm-lint: allow(no-panic-lib) — contract: the confidence level must be a proper probability
         assert!(alpha > 0.0 && alpha < 1.0);
         if self.trials == 0 {
             return (0.0, 1.0);
@@ -165,6 +167,7 @@ pub struct Histogram {
 impl Histogram {
     /// `n_bins` equal-width bins spanning `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, n_bins: usize) -> Self {
+        // pcm-lint: allow(no-panic-lib) — contract: histogram bounds and bin counts come from literal experiment configs
         assert!(hi > lo && n_bins > 0);
         Self {
             lo,

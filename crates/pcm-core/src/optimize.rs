@@ -149,6 +149,7 @@ impl MappingOptimizer {
         let (nominals, thresholds) = decode(&best_x);
         let mut design = base
             .with_mapping(&nominals, &thresholds)
+            // pcm-lint: allow(no-panic-lib) — infallible: best_f beat the infeasibility penalty, so with_mapping accepted this exact mapping during the search
             .expect("optimizer returned a feasible mapping");
         design.name = name.to_string();
         let cer_at_eval = est.cer(&design, self.eval_time_secs);
@@ -180,6 +181,7 @@ fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     }
 
     for _ in 0..max_iters {
+        // pcm-lint: allow(no-panic-lib) — infallible: the objective returns finite penalties or clamped log10 values, never NaN
         simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective must not be NaN"));
         let spread = simplex[n].1 - simplex[0].1;
         if spread.abs() < 1e-10 {
@@ -240,6 +242,7 @@ fn nelder_mead<F: FnMut(&[f64]) -> f64>(
             }
         }
     }
+    // pcm-lint: allow(no-panic-lib) — infallible: the objective returns finite penalties or clamped log10 values, never NaN
     simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective must not be NaN"));
     simplex[0].clone()
 }

@@ -21,6 +21,7 @@ pub struct Availability {
 
 /// Compute Figure 4's availability numbers.
 pub fn availability(geometry: &DeviceGeometry, interval_secs: f64) -> Availability {
+    // pcm-lint: allow(no-panic-lib) — config contract: the refresh interval is a positive experiment parameter
     assert!(interval_secs > 0.0);
     let full = geometry.full_refresh_secs();
     let per_bank = full / geometry.banks as f64;
@@ -40,6 +41,7 @@ pub fn min_interval_for_write_throughput(
     write_bytes_per_sec: f64,
     headroom_factor: f64,
 ) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — config contract: bandwidth and headroom are positive experiment parameters
     assert!(write_bytes_per_sec > 0.0 && headroom_factor >= 1.0);
     let pass_secs = geometry.capacity_bytes as f64 / write_bytes_per_sec;
     pass_secs * headroom_factor
@@ -125,8 +127,11 @@ pub fn retention_percentiles(
     samples: u64,
     seed: u64,
 ) -> Vec<f64> {
+    // pcm-lint: allow(no-panic-lib) — contract: percentile estimation needs at least one sample
     assert!(samples >= 1);
+    // pcm-lint: allow(no-panic-lib) — contract: quantiles are proper probabilities from the experiment tables
     assert!(quantiles.iter().all(|&q| q > 0.0 && q < 1.0));
+    // pcm-lint: allow(no-ambient-nondeterminism) — deterministic stream: the seed is caller-provided, per the documented reproducibility contract
     let mut rng = crate::rng::Xoshiro256pp::seed_from_u64(seed);
     let mut times: Vec<f64> = (0..samples)
         .map(|_| {
@@ -134,6 +139,7 @@ pub fn retention_percentiles(
             crate::cell::retention_secs(design, &cell).unwrap_or(f64::INFINITY)
         })
         .collect();
+    // pcm-lint: allow(no-panic-lib) — infallible: sampled retention times are positive-or-infinite, never NaN
     times.sort_by(|a, b| a.partial_cmp(b).expect("retention times are ordered"));
     quantiles
         .iter()

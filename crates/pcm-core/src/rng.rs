@@ -96,6 +96,7 @@ impl Xoshiro256pp {
     /// bias).
     #[inline]
     pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        // pcm-lint: allow(no-panic-lib) — contract: a zero bound has no valid sample; call sites pass nonzero values
         assert!(bound > 0);
         let mut x = self.next_u64();
         let mut m = (x as u128) * (bound as u128);
@@ -139,6 +140,7 @@ impl Xoshiro256pp {
     /// within ±2.75σ of nominal (§2.2). Returns `(value, attempts)` so the
     /// wearout model can charge one write cycle per attempt.
     pub fn next_truncated_normal(&mut self, limit: f64) -> (f64, u32) {
+        // pcm-lint: allow(no-panic-lib) — contract: rejection sampling needs a positive limit
         assert!(limit > 0.0);
         let mut attempts = 0u32;
         loop {

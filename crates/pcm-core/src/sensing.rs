@@ -58,6 +58,7 @@ impl SensingScheme {
             SensingScheme::Fixed => base,
             SensingScheme::TimeAware => base + expected_shift(design, i, t_secs),
             SensingScheme::ReferenceCells { reference_cells } => {
+                // pcm-lint: allow(no-panic-lib) — API contract: ReferenceCells sensing documents that an RNG must be supplied
                 let rng = rng.expect("reference sensing needs an RNG");
                 base + sampled_shift(design, i, t_secs, *reference_cells, rng)
             }
@@ -107,6 +108,7 @@ fn sampled_shift(
     n: u32,
     rng: &mut Xoshiro256pp,
 ) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — contract: averaging needs at least one reference cell
     assert!(n >= 1);
     let alpha = design.alpha_for_state(i);
     let l = log_time(t_secs);
@@ -127,6 +129,7 @@ pub fn cer_with_scheme(
     samples_per_state: u64,
     seed: u64,
 ) -> f64 {
+    // pcm-lint: allow(no-ambient-nondeterminism) — deterministic stream: the seed is caller-provided, per the documented reproducibility contract
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let mut weighted = 0.0;
     for state in 0..design.n_levels() {

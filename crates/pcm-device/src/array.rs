@@ -49,6 +49,7 @@ impl CellArray {
     /// Allocate `n` pristine cells (erased to the lowest state at t = 0,
     /// no drift until written).
     pub fn new(n: usize, endurance: EnduranceModel, seed: u64) -> Self {
+        // pcm-lint: allow(no-ambient-nondeterminism) — deterministic stream: the seed is caller-provided, per the documented reproducibility contract
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let cells = (0..n)
             .map(|_| PhysicalCell {

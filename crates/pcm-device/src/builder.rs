@@ -23,6 +23,7 @@
 use crate::bank::PcmBank;
 use crate::concurrent::ShardedPcmDevice;
 use crate::device::{CellOrganization, PcmDevice};
+use crate::generic_block::GenericBlock;
 use crate::metrics::DeviceMetrics;
 use pcm_core::level::LevelDesign;
 use pcm_wearout::fault::EnduranceModel;
@@ -43,6 +44,13 @@ pub enum ConfigError {
         /// Requested bank count.
         banks: usize,
     },
+    /// A [`CellOrganization::Generic`] stack the block layer cannot
+    /// realize (base mismatch, missing spare codeword, or a TEC message
+    /// that does not fit the BCH code).
+    InvalidOrganization {
+        /// What the block layer rejected.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -55,6 +63,9 @@ impl std::fmt::Display for ConfigError {
                 "block count {blocks} is not divisible by bank count {banks} \
                  (low-order interleaving needs equal banks)"
             ),
+            ConfigError::InvalidOrganization { reason } => {
+                write!(f, "invalid cell organization: {reason}")
+            }
         }
     }
 }
@@ -137,6 +148,16 @@ impl DeviceBuilder {
                 banks: self.banks,
             });
         }
+        if let CellOrganization::Generic {
+            design,
+            code,
+            spare_groups,
+            tec_strength,
+        } = &self.organization
+        {
+            GenericBlock::check_config(design, code, *spare_groups, *tec_strength)
+                .map_err(|reason| ConfigError::InvalidOrganization { reason })?;
+        }
         Ok(())
     }
 
@@ -193,6 +214,27 @@ mod tests {
             Some(ConfigError::BlocksNotDivisibleByBanks {
                 blocks: 10,
                 banks: 4
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_unrealizable_generic_organization() {
+        use pcm_codec::enumerative::EnumerativeCode;
+        // A 3-level design cannot carry a base-4 enumerative code.
+        let err = DeviceBuilder::new()
+            .organization(CellOrganization::Generic {
+                design: LevelDesign::three_level_naive(),
+                code: EnumerativeCode::new(4, 5),
+                spare_groups: 0,
+                tec_strength: 1,
+            })
+            .build()
+            .err();
+        assert_eq!(
+            err,
+            Some(ConfigError::InvalidOrganization {
+                reason: "the data code's base must match the level design"
             })
         );
     }

@@ -46,7 +46,19 @@ use crate::device::{DeviceStats, PcmDevice};
 use crate::error::PcmError;
 use crate::metrics::{self, DeviceMetrics};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Acquire one bank lock, unwinding on poisoning.
+///
+/// A poisoned bank lock means a sibling thread panicked mid-operation;
+/// the bank's cell state is unknowable and no typed error could make it
+/// usable again, so propagating the panic is the only sound option.
+/// Every single-bank acquisition in this module routes through here so
+/// that reasoning lives in exactly one place.
+fn lock_bank(shard: &Mutex<PcmBank>) -> MutexGuard<'_, PcmBank> {
+    // pcm-lint: allow(no-panic-lib) — poisoning implies a sibling thread already panicked.
+    shard.lock().expect("bank lock poisoned")
+}
 
 /// A PCM device sharing its banks across threads behind per-bank locks.
 ///
@@ -56,6 +68,9 @@ use std::sync::{Arc, Mutex};
 pub struct ShardedPcmDevice {
     shards: Vec<Mutex<PcmBank>>,
     blocks: usize,
+    /// Cells per block (uniform across banks); cached so hot paths and
+    /// fault injection never take a lock just to read geometry.
+    cells_per_block: usize,
     /// Device clock, seconds, stored as `f64::to_bits`.
     now_bits: AtomicU64,
     metrics: Arc<DeviceMetrics>,
@@ -65,9 +80,11 @@ impl ShardedPcmDevice {
     pub(crate) fn from_banks(banks: Vec<PcmBank>, now: f64, metrics: Arc<DeviceMetrics>) -> Self {
         debug_assert_eq!(metrics.banks(), banks.len());
         let blocks = banks.iter().map(PcmBank::blocks).sum();
+        let cells_per_block = banks.first().map_or(0, PcmBank::cells_per_block);
         Self {
             shards: banks.into_iter().map(Mutex::new).collect(),
             blocks,
+            cells_per_block,
             now_bits: AtomicU64::new(now.to_bits()),
             metrics,
         }
@@ -84,6 +101,7 @@ impl ShardedPcmDevice {
             .into_iter()
             .map(|m| {
                 m.into_inner()
+                    // pcm-lint: allow(no-panic-lib) — same poisoning argument as lock_bank.
                     .expect("no shard lock can outlive the device")
             })
             .collect();
@@ -135,11 +153,13 @@ impl ShardedPcmDevice {
     /// Advance the global clock (drift accrues on every written cell).
     /// Safe to call concurrently; advances are atomic and cumulative.
     pub fn advance_time(&self, secs: f64) {
+        // pcm-lint: allow(no-panic-lib) — documented precondition; a negative advance is a caller bug that must not silently corrupt drift state.
         assert!(secs >= 0.0, "time flows forward");
         self.now_bits
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |bits| {
                 Some((f64::from_bits(bits) + secs).to_bits())
             })
+            // pcm-lint: allow(no-panic-lib) — infallible: the closure above always returns Some.
             .expect("fetch_update closure never fails");
     }
 
@@ -180,8 +200,8 @@ impl ShardedPcmDevice {
     pub fn write_block(&self, block: usize, data: &[u8]) -> Result<WriteReport, PcmError> {
         let (shard, local) = self.locate(block)?;
         let now = self.now();
-        let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
-        let cells = bank.cells_per_block() as u64;
+        let cells = self.cells_per_block as u64;
+        let mut bank = lock_bank(&self.shards[shard]);
         let r = bank.write(local, now, data).map_err(PcmError::from);
         drop(bank);
         self.note_write(shard, cells, &r);
@@ -192,7 +212,7 @@ impl ShardedPcmDevice {
     pub fn read_block(&self, block: usize) -> Result<ReadReport, PcmError> {
         let (shard, local) = self.locate(block)?;
         let now = self.now();
-        let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
+        let mut bank = lock_bank(&self.shards[shard]);
         let r = bank.read(local, now).map_err(PcmError::from);
         drop(bank);
         self.note_read(shard, &r);
@@ -203,7 +223,7 @@ impl ShardedPcmDevice {
     pub fn refresh_block(&self, block: usize) -> Result<(), PcmError> {
         let (shard, local) = self.locate(block)?;
         let now = self.now();
-        let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
+        let mut bank = lock_bank(&self.shards[shard]);
         let r = bank.refresh(local, now).map_err(PcmError::from);
         drop(bank);
         match &r {
@@ -214,6 +234,60 @@ impl ShardedPcmDevice {
             Err(_) => self.metrics.bank(shard).record_failure(),
         }
         r
+    }
+
+    /// The canonical multi-bank acquisition: guards are always taken in
+    /// ascending bank-id order, so any two threads locking the same pair
+    /// agree on the order and cannot deadlock. Returns the guards in the
+    /// caller's `(a, b)` order. `pcm-lint`'s `lock-discipline` rule flags
+    /// any function holding two or more guards that does not route
+    /// through here.
+    fn lock_pair_ordered(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> (MutexGuard<'_, PcmBank>, MutexGuard<'_, PcmBank>) {
+        debug_assert_ne!(a, b, "a pair means two distinct banks");
+        let lo_guard = lock_bank(&self.shards[a.min(b)]);
+        let hi_guard = lock_bank(&self.shards[a.max(b)]);
+        if a < b {
+            (lo_guard, hi_guard)
+        } else {
+            (hi_guard, lo_guard)
+        }
+    }
+
+    /// Copy one block's stored data onto another, atomically with
+    /// respect to both banks — the wear-leveling migration primitive.
+    /// Source read and destination write happen under simultaneously
+    /// held bank locks (sorted acquisition via
+    /// `lock_pair_ordered`), so no concurrent write can slip
+    /// between the two halves.
+    ///
+    /// Returns the destination's write report; metrics record one read
+    /// on the source bank and one write on the destination bank, exactly
+    /// like the sequential engine's
+    /// [`PcmDevice::copy_block`](crate::device::PcmDevice::copy_block).
+    pub fn copy_block(&self, src: usize, dst: usize) -> Result<WriteReport, PcmError> {
+        let (s_shard, s_local) = self.locate(src)?;
+        let (d_shard, d_local) = self.locate(dst)?;
+        let now = self.now();
+        let cells = self.cells_per_block as u64;
+        let write = if s_shard == d_shard {
+            let mut bank = lock_bank(&self.shards[s_shard]);
+            let read = bank.read(s_local, now).map_err(PcmError::from);
+            self.note_read(s_shard, &read);
+            let data = read?.data;
+            bank.write(d_local, now, &data).map_err(PcmError::from)
+        } else {
+            let (mut s_bank, mut d_bank) = self.lock_pair_ordered(s_shard, d_shard);
+            let read = s_bank.read(s_local, now).map_err(PcmError::from);
+            self.note_read(s_shard, &read);
+            let data = read?.data;
+            d_bank.write(d_local, now, &data).map_err(PcmError::from)
+        };
+        self.note_write(d_shard, cells, &write);
+        write
     }
 
     /// Bulk write path: requests are grouped by bank *before* any lock is
@@ -236,8 +310,8 @@ impl ShardedPcmDevice {
             if idxs.is_empty() {
                 continue;
             }
-            let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
-            let cells = bank.cells_per_block() as u64;
+            let mut bank = lock_bank(&self.shards[shard]);
+            let cells = self.cells_per_block as u64;
             for &i in idxs {
                 let (block, data) = requests[i];
                 let local = block / self.shards.len();
@@ -248,6 +322,7 @@ impl ShardedPcmDevice {
         }
         results
             .into_iter()
+            // pcm-lint: allow(no-panic-lib) — infallible: locate() either grouped index i by bank or filled results[i] with Err.
             .map(|r| r.expect("every request routed"))
             .collect()
     }
@@ -268,7 +343,7 @@ impl ShardedPcmDevice {
             if idxs.is_empty() {
                 continue;
             }
-            let mut bank = self.shards[shard].lock().expect("bank lock poisoned");
+            let mut bank = lock_bank(&self.shards[shard]);
             for &i in idxs {
                 let local = blocks[i] / self.shards.len();
                 let r = bank.read(local, now).map_err(PcmError::from);
@@ -278,6 +353,7 @@ impl ShardedPcmDevice {
         }
         results
             .into_iter()
+            // pcm-lint: allow(no-panic-lib) — infallible: locate() either grouped index i by bank or filled results[i] with Err.
             .map(|r| r.expect("every request routed"))
             .collect()
     }
@@ -288,34 +364,25 @@ impl ShardedPcmDevice {
     pub fn stats(&self) -> DeviceStats {
         let mut total = DeviceStats::default();
         for shard in &self.shards {
-            total.accumulate(&shard.lock().expect("bank lock poisoned").stats());
+            total.accumulate(&lock_bank(shard).stats());
         }
         total
     }
 
     /// Per-bank statistics, indexed by bank id.
     pub fn bank_stats(&self) -> Vec<DeviceStats> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("bank lock poisoned").stats())
-            .collect()
+        self.shards.iter().map(|s| lock_bank(s).stats()).collect()
     }
 
     /// Fault-injection hook: force a cell's lifetime (device-wide
     /// block-major cell layout, like the sequential engine).
     pub fn inject_lifetime(&self, cell: usize, cycles: u64) {
-        let cpb = self.shards[0]
-            .lock()
-            .expect("bank lock poisoned")
-            .cells_per_block();
+        let cpb = self.cells_per_block;
         let block = cell / cpb;
         let within = cell % cpb;
         let shard = block % self.shards.len();
         let local_block = block / self.shards.len();
-        self.shards[shard]
-            .lock()
-            .expect("bank lock poisoned")
-            .set_lifetime(local_block * cpb + within, cycles);
+        lock_bank(&self.shards[shard]).set_lifetime(local_block * cpb + within, cycles);
     }
 }
 
@@ -385,6 +452,13 @@ impl<'d> Session<'d> {
     pub fn refresh_block(&mut self, block: usize) -> Result<(), PcmError> {
         self.stats.refreshes += 1;
         self.dev.refresh_block(block)
+    }
+
+    /// Copy one block onto another (counts as one read and one write).
+    pub fn copy_block(&mut self, src: usize, dst: usize) -> Result<WriteReport, PcmError> {
+        self.stats.reads += 1;
+        self.stats.writes += 1;
+        self.dev.copy_block(src, dst)
     }
 
     /// Bulk write; counts as one write per request.
@@ -505,6 +579,92 @@ mod tests {
         assert_eq!(data1, data8);
         assert_eq!(stats1, stats8);
         assert_eq!(stats1.writes, 128);
+    }
+
+    #[test]
+    fn copy_block_matches_sequential_engine_bit_for_bit() {
+        let mut seq = builder().build().unwrap();
+        let sharded = builder().build_sharded().unwrap();
+        for b in 0..8 {
+            let data = vec![(b as u8).wrapping_mul(31); 64];
+            seq.write_block(b, &data).unwrap();
+            sharded.write_block(b, &data).unwrap();
+        }
+        // Cross-bank (0 → 13), same-bank (2 → 10 with 8 banks), and
+        // reversed-order (13 → 0) copies must all agree.
+        for (src, dst) in [(0, 13), (2, 10), (13, 0)] {
+            let a = seq.copy_block(src, dst).unwrap();
+            let b = sharded.copy_block(src, dst).unwrap();
+            assert_eq!(a, b, "copy report diverged for {src}->{dst}");
+            assert_eq!(
+                seq.read_block(dst).unwrap().data,
+                sharded.read_block(dst).unwrap().data,
+            );
+        }
+        assert_eq!(seq.stats(), sharded.stats());
+    }
+
+    #[test]
+    fn copy_block_is_atomic_and_deadlock_free_under_contention() {
+        // Two threads copy in opposite directions between the same bank
+        // pair for many iterations. Unordered double-locking would
+        // deadlock here almost immediately; sorted acquisition cannot.
+        let dev = builder().build_sharded().unwrap();
+        dev.write_block(0, &[0xAA; 64]).unwrap(); // bank 0
+        dev.write_block(1, &[0x55; 64]).unwrap(); // bank 1
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..500 {
+                    dev.copy_block(0, 1).unwrap();
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..500 {
+                    dev.copy_block(1, 0).unwrap();
+                }
+            });
+        });
+        // Atomicity: both blocks must hold one of the two payloads, and
+        // every copy recorded exactly one read + one write.
+        let stats = dev.stats();
+        assert_eq!(stats.writes, 2 + 1000);
+        assert_eq!(stats.reads, 1000);
+        for b in [0, 1] {
+            let data = dev.read_block(b).unwrap().data;
+            assert!(data == vec![0xAA; 64] || data == vec![0x55; 64]);
+        }
+    }
+
+    #[test]
+    fn copy_block_propagates_out_of_range() {
+        let dev = builder().build_sharded().unwrap();
+        assert!(matches!(
+            dev.copy_block(0, 99),
+            Err(PcmError::BlockOutOfRange { block: 99, .. })
+        ));
+        assert!(matches!(
+            dev.copy_block(99, 0),
+            Err(PcmError::BlockOutOfRange { block: 99, .. })
+        ));
+        // Failed copies record no read/write.
+        assert_eq!(dev.stats().writes, 0);
+    }
+
+    #[test]
+    fn session_copy_counts_one_read_and_one_write() {
+        let dev = builder().build_sharded().unwrap();
+        let mut s = dev.session();
+        s.write_block(0, &[7u8; 64]).unwrap();
+        s.copy_block(0, 5).unwrap();
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                writes: 2,
+                reads: 1,
+                refreshes: 0
+            }
+        );
+        assert_eq!(dev.read_block(5).unwrap().data, vec![7u8; 64]);
     }
 
     #[test]

@@ -157,6 +157,7 @@ impl PcmDevice {
             .seed(seed)
             .endurance(endurance)
             .build()
+            // pcm-lint: allow(no-panic-lib) — legacy shim: the deprecated positional constructors documented panicking on bad geometry; builder callers get ConfigError
             .unwrap_or_else(|e| panic!("invalid device geometry: {e}"))
     }
 
@@ -208,6 +209,7 @@ impl PcmDevice {
 
     /// Advance the global clock (drift accrues on every written cell).
     pub fn advance_time(&mut self, secs: f64) {
+        // pcm-lint: allow(no-panic-lib) — contract: simulated time is monotone; a negative step is a scheduler bug
         assert!(secs >= 0.0, "time flows forward");
         self.now += secs;
     }
@@ -276,6 +278,16 @@ impl PcmDevice {
             Err(_) => self.metrics.bank(bank).record_failure(),
         }
         r
+    }
+
+    /// Copy one block's stored data onto another — the wear-leveling
+    /// migration primitive. Reads the source, then writes its data to
+    /// the destination; for the same seed and per-bank operation order
+    /// this is bit-identical to the sharded engine's
+    /// [`copy_block`](crate::concurrent::ShardedPcmDevice::copy_block).
+    pub fn copy_block(&mut self, src: usize, dst: usize) -> Result<WriteReport, BlockError> {
+        let rep = self.read_block(src)?;
+        self.write_block(dst, &rep.data)
     }
 
     /// Fault-injection hook: force a cell's lifetime. Cell indices use the

@@ -57,6 +57,37 @@ pub struct GenericBlock {
 }
 
 impl GenericBlock {
+    /// Reject an organization this block cannot realize. The device
+    /// builder routes [`CellOrganization::Generic`] through this before
+    /// any block is constructed, so misconfiguration surfaces as a typed
+    /// [`ConfigError`](crate::builder::ConfigError) instead of a panic.
+    pub(crate) fn check_config(
+        design: &LevelDesign,
+        code: &EnumerativeCode,
+        spare_groups: usize,
+        tec_strength: usize,
+    ) -> Result<(), &'static str> {
+        if design.n_levels() != code.base() as usize {
+            return Err("the data code's base must match the level design");
+        }
+        if spare_groups > 0 && code.spare_codewords() == 0 {
+            return Err("marker-based wearout tolerance needs a spare codeword");
+        }
+        if tec_strength < 1 || 2 * tec_strength >= 1023 {
+            return Err("TEC strength must satisfy 1 <= t and 2t < n = 1023");
+        }
+        let bch = Bch::new(10, tec_strength);
+        let data_groups = (512usize).div_ceil(code.bits_per_group());
+        let bits_per_cell_tec =
+            usize::BITS as usize - (design.n_levels() - 1).leading_zeros() as usize;
+        let message_bits =
+            (data_groups + spare_groups) * code.symbols_per_group() * bits_per_cell_tec;
+        if message_bits > bch.max_data_bits() {
+            return Err("the TEC message exceeds the BCH-1023 code's capacity");
+        }
+        Ok(())
+    }
+
     /// Build a block at `base_cell` for `design` (K = design levels),
     /// packing data with `code` (must share the same base), tolerating
     /// `spare_groups` worn groups, protected by BCH-`tec_strength`.
@@ -67,25 +98,14 @@ impl GenericBlock {
         spare_groups: usize,
         tec_strength: usize,
     ) -> Self {
-        assert_eq!(
-            design.n_levels(),
-            code.base() as usize,
-            "code base must match the level design"
-        );
-        assert!(
-            code.spare_codewords() >= 1 || spare_groups == 0,
-            "marker-based wearout tolerance needs a spare codeword"
-        );
+        if let Err(reason) = Self::check_config(&design, &code, spare_groups, tec_strength) {
+            // pcm-lint: allow(no-panic-lib) — direct construction keeps the panicking contract; builder paths get ConfigError.
+            panic!("invalid generic organization: {reason}");
+        }
         let data_groups = (512usize).div_ceil(code.bits_per_group());
         let bits_per_cell_tec =
             usize::BITS as usize - (design.n_levels() - 1).leading_zeros() as usize;
         let bch = Bch::new(10, tec_strength);
-        let message_bits =
-            (data_groups + spare_groups) * code.symbols_per_group() * bits_per_cell_tec;
-        assert!(
-            message_bits <= bch.max_data_bits(),
-            "TEC message of {message_bits} bits exceeds the BCH code"
-        );
         Self {
             design,
             slc: LevelDesign::two_level(),

@@ -50,6 +50,7 @@ impl RefreshReport {
 impl RefreshController {
     /// Controller with the paper's 1 µs per-block refresh cost.
     pub fn new(interval_secs: f64) -> Self {
+        // pcm-lint: allow(no-panic-lib) — config contract: the refresh interval is a positive experiment parameter
         assert!(interval_secs > 0.0);
         Self {
             interval_secs,

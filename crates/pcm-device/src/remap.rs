@@ -50,6 +50,7 @@ impl std::error::Error for RemapError {}
 impl RemappedDevice {
     /// Wrap `device`, reserving its last `reserve_blocks` blocks.
     pub fn new(device: PcmDevice, reserve_blocks: usize) -> Self {
+        // pcm-lint: allow(no-panic-lib) — constructor contract: the reserve must leave at least one data block
         assert!(reserve_blocks < device.blocks());
         let logical_blocks = device.blocks() - reserve_blocks;
         Self {
@@ -93,6 +94,7 @@ impl RemappedDevice {
         while let Some(&next) = self.forward.get(&pa) {
             pa = next;
             hops += 1;
+            // pcm-lint: allow(no-panic-lib) — invariant: remap chains are acyclic by construction; a cycle means table corruption
             assert!(hops <= self.device.blocks(), "forwarding cycle");
         }
         pa
@@ -100,6 +102,7 @@ impl RemappedDevice {
 
     /// Read a logical block through the forwarding table.
     pub fn read_block(&mut self, block: usize) -> Result<ReadReport, RemapError> {
+        // pcm-lint: allow(no-panic-lib) — contract: logical block bounds are the public API limit
         assert!(block < self.logical_blocks);
         let pa = self.resolve(block);
         self.device
@@ -110,6 +113,7 @@ impl RemappedDevice {
     /// Write a logical block; on wearout exhaustion the block is retired
     /// and the write retried on a fresh reserve block.
     pub fn write_block(&mut self, block: usize, data: &[u8]) -> Result<WriteReport, RemapError> {
+        // pcm-lint: allow(no-panic-lib) — contract: logical block bounds are the public API limit
         assert!(block < self.logical_blocks);
         loop {
             let pa = self.resolve(block);

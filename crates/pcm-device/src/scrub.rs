@@ -64,7 +64,9 @@ impl ScrubScheduler {
     /// A schedule for an explicit geometry (`blocks` must be a multiple
     /// of `banks`, as in any built device).
     pub fn for_geometry(blocks: usize, banks: usize, interval_secs: f64) -> Self {
+        // pcm-lint: allow(no-panic-lib) — config contract: the scrub interval is a positive experiment parameter
         assert!(interval_secs > 0.0);
+        // pcm-lint: allow(no-panic-lib) — config contract: geometry comes from a built device, which enforces divisibility
         assert!(blocks > 0 && banks > 0 && blocks.is_multiple_of(banks));
         Self {
             interval_secs,
@@ -247,6 +249,7 @@ impl ShardedScrubber {
         t: f64,
         threads: usize,
     ) -> RefreshReport {
+        // pcm-lint: allow(no-panic-lib) — contract: a parallel scrub needs at least one thread
         assert!(threads >= 1, "need at least one scrub thread");
         let mut cursors = self.bank_cursors();
         let mut report = RefreshReport::default();
@@ -269,6 +272,7 @@ impl ShardedScrubber {
                 })
                 .collect();
             for h in handles {
+                // pcm-lint: allow(no-panic-lib) — propagates a worker panic; the join cannot fail otherwise
                 report.merge(&h.join().expect("scrub thread panicked"));
             }
         });
@@ -298,6 +302,7 @@ impl ShardedScrubber {
             .iter()
             .map(BankScrubCursor::next_tick)
             .min()
+            // pcm-lint: allow(no-panic-lib) — infallible: the scheduler rejects banks == 0, so the cursor set is non-empty
             .expect("at least one bank");
     }
 }

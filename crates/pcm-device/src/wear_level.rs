@@ -43,6 +43,7 @@ impl StartGap {
     /// Leveler for `n` logical blocks (needs `n + 1` physical slots),
     /// moving the gap every `psi` writes (the original paper uses 100).
     pub fn new(n: usize, psi: u32) -> Self {
+        // pcm-lint: allow(no-panic-lib) — constructor contract: start-gap needs two blocks and a positive gap-move period
         assert!(n >= 2 && psi >= 1);
         Self {
             n,
@@ -76,6 +77,7 @@ impl StartGap {
 
     /// Translate a logical block to its physical slot.
     pub fn translate(&self, logical: usize) -> usize {
+        // pcm-lint: allow(no-panic-lib) — contract: logical block bounds are the public API limit
         assert!(logical < self.n, "logical block {logical} out of range");
         let q = (logical + self.start) % self.n;
         if q >= self.gap {

@@ -42,9 +42,11 @@ pub struct Bch {
 impl Bch {
     /// Construct the BCH code with designed distance 2t+1 over GF(2^m).
     pub fn new(m: u32, t: usize) -> Self {
+        // pcm-lint: allow(no-panic-lib) — constructor contract: (m, t) are design-table constants; device configs are pre-validated by the builder
         assert!(t >= 1, "BCH needs t >= 1");
         let gf = GfTables::new(m);
         let n = gf.order() as usize;
+        // pcm-lint: allow(no-panic-lib) — constructor contract: (m, t) are design-table constants; device configs are pre-validated by the builder
         assert!(2 * t < n, "t = {t} too large for n = {n}");
 
         // Generator = lcm of minimal polynomials of α^1, α^3, …, α^(2t−1).
@@ -119,6 +121,7 @@ impl Bch {
     /// Systematically encode `data`, returning the parity block
     /// (`parity_bits` bits).
     pub fn encode(&self, data: &BitVec) -> BitVec {
+        // pcm-lint: allow(no-panic-lib) — encode contract: block layouts fix the message length at construction
         assert!(
             data.len() <= self.max_data_bits(),
             "message of {} bits exceeds k = {}",

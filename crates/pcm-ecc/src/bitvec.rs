@@ -35,6 +35,7 @@ impl BitVec {
     /// Build from bytes, LSB-first within each byte, taking exactly `len`
     /// bits (`len <= bytes.len() * 8`).
     pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        // pcm-lint: allow(no-panic-lib) — contract: the requested length must fit the supplied bytes
         assert!(
             len <= bytes.len() * 8,
             "len {len} > {} bits",
@@ -74,6 +75,7 @@ impl BitVec {
     /// Read bit `i`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
+        // pcm-lint: allow(no-panic-lib) — bounds contract, the same failure mode as slice indexing
         assert!(i < self.len, "bit {i} out of range (len {})", self.len);
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
@@ -81,6 +83,7 @@ impl BitVec {
     /// Write bit `i`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
+        // pcm-lint: allow(no-panic-lib) — bounds contract, the same failure mode as slice indexing
         assert!(i < self.len, "bit {i} out of range (len {})", self.len);
         let mask = 1u64 << (i % 64);
         if value {
@@ -130,6 +133,7 @@ impl BitVec {
 
     /// Copy `bits` from `other[src..src+bits]` into `self[dst..dst+bits]`.
     pub fn copy_range(&mut self, dst: usize, other: &BitVec, src: usize, bits: usize) {
+        // pcm-lint: allow(no-panic-lib) — bounds contract, the same failure mode as slice indexing
         assert!(dst + bits <= self.len && src + bits <= other.len);
         for i in 0..bits {
             self.set(dst + i, other.get(src + i));

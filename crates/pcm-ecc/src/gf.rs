@@ -37,6 +37,7 @@ impl GfTables {
         let poly = PRIMITIVE_POLYS
             .iter()
             .find(|&&(mm, _)| mm == m)
+            // pcm-lint: allow(no-panic-lib) — contract: supported m is a compile-time property of the code tables
             .unwrap_or_else(|| panic!("unsupported field GF(2^{m}); supported m = 3..=13"))
             .1;
         let n = (1u32 << m) - 1;
@@ -94,6 +95,7 @@ impl GfTables {
     /// Multiplicative inverse of a nonzero element.
     #[inline]
     pub fn inv(&self, a: u32) -> u32 {
+        // pcm-lint: allow(no-panic-lib) — contract: zero has no inverse — the same class as integer division by zero
         assert!(a != 0, "inverse of zero");
         self.alog[(self.n - self.log[a as usize]) as usize]
     }
@@ -101,6 +103,7 @@ impl GfTables {
     /// Field division `a / b` (b nonzero).
     #[inline]
     pub fn div(&self, a: u32, b: u32) -> u32 {
+        // pcm-lint: allow(no-panic-lib) — contract: division by zero
         assert!(b != 0, "division by zero");
         if a == 0 {
             0

@@ -42,6 +42,7 @@ impl Hamming {
     }
 
     fn build(data_bits: usize, extended: bool) -> Self {
+        // pcm-lint: allow(no-panic-lib) — constructor contract: a code needs at least one data bit
         assert!(data_bits >= 1);
         // Smallest r with 2^r >= data_bits + r + 1.
         let mut r = 2usize;

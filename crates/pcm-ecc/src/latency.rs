@@ -29,6 +29,7 @@ pub const XOR2_FO4: f64 = 2.0;
 
 /// Encoder latency in FO4 for a k-bit message: XOR-tree depth.
 pub fn encode_fo4(message_bits: usize) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — contract: latency models need a positive message length
     assert!(message_bits >= 1);
     XOR2_FO4 * (message_bits as f64).log2().ceil()
 }
@@ -49,6 +50,7 @@ const DECODE_PER_T_FO4: f64 = 55.0 + 2.0 / 3.0;
 /// points share k = 512-ish codewords, so the length correction is applied
 /// relative to that baseline.
 pub fn decode_fo4(t: usize, message_bits: usize) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — contract: latency models need positive t and message length
     assert!(t >= 1 && message_bits >= 1);
     let tree_scale = ((message_bits as f64).log2().ceil()) / 9.0; // baseline log2(512)
     DECODE_FIXED_FO4 * tree_scale + DECODE_PER_T_FO4 * t as f64

@@ -38,6 +38,7 @@ impl GfPoly {
     }
 
     fn trim(&mut self) {
+        // pcm-lint: allow(no-panic-lib) — infallible: the loop guard keeps coeffs non-empty
         while self.coeffs.len() > 1 && *self.coeffs.last().unwrap() == 0 {
             self.coeffs.pop();
         }
@@ -214,6 +215,7 @@ impl BinPoly {
 
     /// Remainder of `self mod divisor` (long division over GF(2)).
     pub fn rem(&self, divisor: &BinPoly) -> BinPoly {
+        // pcm-lint: allow(no-panic-lib) — contract: polynomial division by zero
         assert!(!divisor.is_zero(), "division by zero polynomial");
         let d = divisor.degree();
         let mut r = self.clone();

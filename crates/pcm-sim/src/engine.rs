@@ -185,6 +185,7 @@ pub fn simulate_ops(
                 .record_write(0, params.write_latency_ns as u64);
             writes += 1;
             if write_queue.len() > params.write_queue_depth {
+                // pcm-lint: allow(no-panic-lib) — infallible: guarded by the queue-depth check above
                 let oldest = write_queue.pop_front().expect("non-empty");
                 core_time = core_time.max(oldest);
             }
@@ -202,6 +203,7 @@ pub fn simulate_ops(
                 .record_read(0, params.read_latency_ns as u64);
             reads += 1;
             if outstanding_reads.len() > read_window {
+                // pcm-lint: allow(no-panic-lib) — infallible: guarded by the window-length check above
                 let oldest = outstanding_reads.pop_front().expect("non-empty");
                 core_time = core_time.max(oldest);
             }

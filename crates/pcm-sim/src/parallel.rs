@@ -12,12 +12,16 @@ use crate::config::{DesignPoint, EnergyModel, SimParams};
 use crate::engine::{simulate, SimResult};
 use crate::report::Figure16Bar;
 use crate::workload::WorkloadProfile;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Run a list of (design, workload) jobs across `threads` OS threads.
+/// Run a list of (design, workload) jobs across `threads` OS threads
+/// (`0` is treated as `1`).
 ///
 /// Job `i` of the output corresponds to job `i` of the input; the
 /// results are identical to calling [`simulate`] on each job in order.
+/// Workers claim job indices from a lock-free counter and keep private
+/// result lists that are merged by index after the join, so the fan-out
+/// involves no locks at all.
 pub fn simulate_matrix(
     params: &SimParams,
     energy: &EnergyModel,
@@ -26,29 +30,45 @@ pub fn simulate_matrix(
     seed: u64,
     threads: usize,
 ) -> Vec<SimResult> {
-    assert!(threads >= 1, "need at least one worker thread");
+    let next = AtomicUsize::new(0);
+    let mut per_thread: Vec<Vec<(usize, SimResult)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.clamp(1, jobs.len().max(1)))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(design, profile)) = jobs.get(i) else {
+                            break;
+                        };
+                        mine.push((
+                            i,
+                            simulate(params, energy, design, profile, instructions, seed),
+                        ));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(mine) => mine,
+                // A worker panicking means `simulate` itself panicked;
+                // re-raise rather than return a hole-filled matrix.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
     let mut out: Vec<Option<SimResult>> = Vec::new();
     out.resize_with(jobs.len(), || None);
-    let next = Mutex::new(0usize);
-    let slots = Mutex::new(&mut out);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = {
-                    let mut n = next.lock().unwrap();
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                let Some(&(design, profile)) = jobs.get(i) else {
-                    break;
-                };
-                let r = simulate(params, energy, design, profile, instructions, seed);
-                slots.lock().unwrap()[i] = Some(r);
-            });
-        }
-    });
-    out.into_iter().map(|r| r.expect("every job ran")).collect()
+    for (i, r) in per_thread.drain(..).flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        // pcm-lint: allow(no-panic-lib) — infallible: fetch_add hands every index 0..jobs.len() to exactly one worker.
+        .map(|r| r.expect("every job ran"))
+        .collect()
 }
 
 /// Concurrent [`figure16`](crate::report::figure16): the full
@@ -80,6 +100,7 @@ pub fn figure16_parallel(
         let baseline = chunk
             .iter()
             .find(|r| r.design == DesignPoint::FourLcRef)
+            // pcm-lint: allow(no-panic-lib) — infallible: the jobs matrix is built from DesignPoint::ALL, which contains FourLcRef.
             .expect("matrix contains the 4LC-REF baseline");
         let base_energy = baseline.total_energy_nj();
         let base_power = baseline.avg_power_w();

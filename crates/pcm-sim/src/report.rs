@@ -80,6 +80,7 @@ pub fn summary_gains(bars: &[Figure16Bar]) -> (f64, f64) {
         .iter()
         .filter(|b| b.design == DesignPoint::ThreeLc && b.workload != "namd")
         .collect();
+    // pcm-lint: allow(no-panic-lib) — contract: Figure 16 bars always include the 3LC design; an empty set is a harness bug
     assert!(!three.is_empty());
     let gm = |f: &dyn Fn(&Figure16Bar) -> f64| -> f64 {
         (three.iter().map(|b| f(b).ln()).sum::<f64>() / three.len() as f64).exp()

@@ -134,11 +134,14 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Trace for `profile` over a device of `blocks` blocks.
     pub fn new(profile: WorkloadProfile, blocks: u64, seed: u64) -> Self {
+        // pcm-lint: allow(no-panic-lib) — config contract: a workload needs at least one block
         assert!(blocks >= 1);
+        // pcm-lint: allow(no-panic-lib) — config contract: MPKI and write fraction come from the paper's workload table
         assert!(profile.mpki > 0.0 && (0.0..=1.0).contains(&profile.write_fraction));
         Self {
             profile,
             blocks,
+            // pcm-lint: allow(no-ambient-nondeterminism) — deterministic stream: the seed is caller-provided, per the documented reproducibility contract
             rng: Xoshiro256pp::seed_from_u64(seed),
             instruction: 0,
             cursor: 0,

@@ -54,6 +54,7 @@ pub struct EcpMlc {
 impl EcpMlc {
     /// Table with `n_entries` entries protecting `block_cells` cells.
     pub fn new(block_cells: usize, n_entries: usize) -> Self {
+        // pcm-lint: allow(no-panic-lib) — constructor contract: ECP needs cells and at least one correction entry
         assert!(block_cells >= 1 && n_entries >= 1);
         Self {
             block_cells,
@@ -96,6 +97,7 @@ impl EcpMlc {
                 block_cells: self.block_cells,
             });
         }
+        // pcm-lint: allow(no-panic-lib) — contract: MLC replacement symbols are 2 bits by the ECP layout
         assert!(replacement_state < 4, "MLC replacement symbol is 2 bits");
         if let Some(entry) = self.entries.iter_mut().flatten().find(|(p, _)| *p == ptr) {
             entry.1 = replacement_state;

@@ -42,6 +42,7 @@ pub fn block_lifetime_cycles(
     tolerated: u64,
     target: f64,
 ) -> f64 {
+    // pcm-lint: allow(no-panic-lib) — contract: a failure-probability target is a proper probability
     assert!(target > 0.0 && target < 1.0);
     let (mut lo, mut hi) = (1.0f64, model.median_cycles * 1e4);
     for _ in 0..200 {

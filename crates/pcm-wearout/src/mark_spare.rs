@@ -71,6 +71,7 @@ impl MarkSpareCodec {
     /// A custom geometry (used by Figure 10's 4-data/2-spare example and
     /// the capacity sweeps).
     pub fn new(data_pairs: usize, spare_pairs: usize) -> Self {
+        // pcm-lint: allow(no-panic-lib) — constructor contract: mark-and-spare needs at least one data pair
         assert!(data_pairs >= 1);
         Self {
             data_pairs,
@@ -108,6 +109,7 @@ impl MarkSpareCodec {
         );
         let mut failed = vec![false; self.total_pairs()];
         for &f in failed_pairs {
+            // pcm-lint: allow(no-panic-lib) — contract: failed-pair indices are bounded by the block layout
             assert!(f < self.total_pairs(), "failed pair {f} out of range");
             failed[f] = true;
         }
@@ -225,6 +227,7 @@ impl MarkSpareCodec {
         data: &BitVec,
         failed_pairs: &[usize],
     ) -> Result<Vec<Trit>, MarkSpareError> {
+        // pcm-lint: allow(no-panic-lib) — contract: data length is bounded by the block layout
         assert!(data.len() <= self.data_pairs * 3);
         let mut values = Vec::with_capacity(self.data_pairs);
         for p in 0..self.data_pairs {

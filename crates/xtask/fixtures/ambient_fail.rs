@@ -1,0 +1,24 @@
+//! Expected-fail fixture for `no-ambient-nondeterminism`.
+
+use std::env; //~ no-ambient-nondeterminism
+
+pub fn env_seed() -> String {
+    env::var("PCM_SEED").unwrap_or_default() //~ no-ambient-nondeterminism
+}
+
+pub fn wall_clock_nanos() -> u128 {
+    let t = std::time::Instant::now(); //~ no-ambient-nondeterminism
+    t.elapsed().as_nanos()
+}
+
+pub struct Stamp(pub std::time::SystemTime); //~ no-ambient-nondeterminism
+
+pub fn adhoc_stream(seed: u64) -> u64 {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed); //~ no-ambient-nondeterminism
+    rng.next_u64()
+}
+
+pub fn entropy_stream() -> u64 {
+    let mut rng = thread_rng(); //~ no-ambient-nondeterminism
+    rng.next_u64()
+}

@@ -1,0 +1,10 @@
+//! Expected-fail fixture for `no-deprecated-internal`.
+
+#[allow(deprecated)] //~ no-deprecated-internal
+pub fn legacy_device() -> PcmDevice {
+    PcmDevice::new(CellOrganization::FourLevel, 64, 8, 42) //~ no-deprecated-internal
+}
+
+pub fn legacy_endurance() -> PcmDevice {
+    PcmDevice::with_endurance(CellOrganization::FourLevel, 64, 8, 42, EnduranceModel::mlc()) //~ no-deprecated-internal
+}

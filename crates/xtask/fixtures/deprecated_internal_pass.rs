@@ -1,0 +1,17 @@
+//! Expected-pass fixture for `no-deprecated-internal`: the builder API,
+//! and tests exercising the shims deliberately.
+
+pub fn modern_device() -> Result<PcmDevice, ConfigError> {
+    PcmDevice::builder().blocks(64).banks(8).seed(42).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(deprecated)]
+    fn shims_still_work_for_compat_tests() {
+        let _ = PcmDevice::new(CellOrganization::FourLevel, 64, 8, 42);
+    }
+}

@@ -1,0 +1,24 @@
+//! Expected-pass fixture for `no-float-tick`: the canonical integer-tick
+//! pattern — deadlines derived as a product, never accumulated.
+
+pub struct Scheduler {
+    tick: u64,
+    step_ns: u64,
+}
+
+impl Scheduler {
+    pub fn advance(&mut self) {
+        // Integer accumulation is exact; this must not be flagged.
+        self.tick += 1;
+    }
+
+    pub fn next_due(&self) -> f64 {
+        // Deriving the float deadline from the integer tick is the fix,
+        // not the bug.
+        self.tick as f64 * self.step_ns as f64 * 1e-9
+    }
+
+    pub fn catch_up(&mut self, ticks: u64) {
+        self.tick = self.tick + ticks;
+    }
+}

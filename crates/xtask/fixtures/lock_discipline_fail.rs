@@ -1,0 +1,24 @@
+//! Expected-fail fixture for `lock-discipline`: ad-hoc double
+//! acquisition, both nested and sequential.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn transfer(&self, n: u64) {
+        if let (Ok(mut a), Ok(mut b)) = (self.a.lock(), self.b.lock()) { //~ lock-discipline
+            *a -= n;
+            *b += n;
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        let a = self.a.lock().map(|g| *g).unwrap_or(0);
+        let b = self.b.lock().map(|g| *g).unwrap_or(0); //~ lock-discipline
+        a + b
+    }
+}

@@ -1,0 +1,43 @@
+//! Expected-pass fixture for `lock-discipline`: multi-bank acquisition
+//! routed through the canonical sorted helper; the helper and the
+//! poison-handling wrapper are themselves exempt.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Banks {
+    shards: Vec<Mutex<u64>>,
+}
+
+fn lock_bank(shard: &Mutex<u64>) -> MutexGuard<'_, u64> {
+    match shard.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl Banks {
+    fn lock_pair_ordered(&self, a: usize, b: usize) -> (MutexGuard<'_, u64>, MutexGuard<'_, u64>) {
+        let lo = lock_bank(&self.shards[a.min(b)]);
+        let hi = lock_bank(&self.shards[a.max(b)]);
+        if a < b {
+            (lo, hi)
+        } else {
+            (hi, lo)
+        }
+    }
+
+    pub fn transfer(&self, from: usize, to: usize, n: u64) {
+        let (mut a, mut b) = self.lock_pair_ordered(from, to);
+        *a -= n;
+        *b += n;
+    }
+
+    pub fn one(&self, i: usize) -> u64 {
+        *lock_bank(&self.shards[i])
+    }
+
+    pub fn sum_loop(&self) -> u64 {
+        // One lexical acquisition, released each iteration.
+        self.shards.iter().map(|s| *lock_bank(s)).sum()
+    }
+}

@@ -1,0 +1,556 @@
+//! A hand-rolled Rust lexer for `pcm-lint`.
+//!
+//! The workspace builds hermetically (no registry access), so the lint
+//! pass cannot use `syn`/`proc-macro2`. Fortunately none of the enforced
+//! invariants need full parsing — they are all expressible over a token
+//! stream with accurate source positions, provided the lexer gets the
+//! classic traps right:
+//!
+//! * strings (`"…"`, `b"…"`) with escapes, raw strings (`r"…"`,
+//!   `r##"…"##`) with arbitrary hash counts;
+//! * line comments (incl. doc comments — which is how code inside
+//!   `///` doc examples is excluded from every rule) and *nested*
+//!   block comments;
+//! * `'a` lifetimes vs `'a'` char literals vs `'\n'` escapes;
+//! * raw identifiers (`r#fn`), numeric literals with suffixes
+//!   (`1_000u64`, `2.5e-3f32`) and the `1..n` range trap.
+//!
+//! Tokens carry 1-based `line:col` so diagnostics are span-accurate.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// A character or byte literal, quotes included.
+    CharLit,
+    /// A (possibly byte) string literal, quotes included.
+    StrLit,
+    /// A raw (possibly byte) string literal, quotes and hashes included.
+    RawStrLit,
+    /// An integer literal.
+    IntLit,
+    /// A floating-point literal (has a fraction, exponent, or f32/f64
+    /// suffix).
+    FloatLit,
+    /// Punctuation. Multi-character operators the rules care about
+    /// (`::`, `+=`, `-=`, `*=`, `/=`, `..`, `..=`, `->`, `=>`, `&&`,
+    /// `||`, `==`, `!=`, `<=`, `>=`, `<<`, `>>`) are single tokens.
+    Punct,
+    /// A `//` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* … */` comment (nesting handled).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in characters, not bytes).
+    pub col: u32,
+}
+
+impl Token {
+    fn new(kind: TokKind, text: impl Into<String>, line: u32, col: u32) -> Self {
+        Self {
+            kind,
+            text: text.into(),
+            line,
+            col,
+        }
+    }
+}
+
+/// Lex `src` into a token stream (comments included, whitespace dropped).
+///
+/// The lexer is total: unexpected bytes become single-character `Punct`
+/// tokens rather than errors, so a half-edited file still lints.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+const JOINED_PUNCT: &[&str] = &[
+    "..=", "::", "+=", "-=", "*=", "/=", "..", "->", "=>", "&&", "||", "==", "!=", "<=", ">=",
+    "<<", ">>",
+];
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn is_ident_start(c: char) -> bool {
+        c == '_' || c.is_alphabetic()
+    }
+
+    fn is_ident_continue(c: char) -> bool {
+        c == '_' || c.is_alphanumeric()
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == 'r' && self.raw_string_ahead(1) {
+                self.raw_string(line, col, 1);
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_string_ahead(2) {
+                self.raw_string(line, col, 2);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                self.bump();
+                self.string(line, col, "b");
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump();
+                self.char_lit(line, col, "b");
+            } else if c == '"' {
+                self.string(line, col, "");
+            } else if c == '\'' {
+                self.lifetime_or_char(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if Self::is_ident_start(c) {
+                self.ident(line, col);
+            } else {
+                self.punct(line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out
+            .push(Token::new(TokKind::LineComment, text, line, col));
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out
+            .push(Token::new(TokKind::BlockComment, text, line, col));
+    }
+
+    /// Is there `#*"` starting at `self.pos + offset`? Distinguishes the
+    /// raw string `r#"…"#` from the raw identifier `r#fn`.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32, prefix_len: usize) {
+        let mut text = String::new();
+        for _ in 0..prefix_len {
+            text.push(self.bump().unwrap_or_default()); // r or br
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push(self.bump().unwrap_or_default());
+        }
+        text.push(self.bump().unwrap_or_default()); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('"') => {
+                    text.push('"');
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(0) == Some('#') {
+                        matched += 1;
+                        text.push(self.bump().unwrap_or_default());
+                    }
+                    if matched == hashes {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.out
+            .push(Token::new(TokKind::RawStrLit, text, line, col));
+    }
+
+    fn string(&mut self, line: u32, col: u32, prefix: &str) {
+        let mut text = String::from(prefix);
+        text.push(self.bump().unwrap_or_default()); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.out.push(Token::new(TokKind::StrLit, text, line, col));
+    }
+
+    fn char_lit(&mut self, line: u32, col: u32, prefix: &str) {
+        let mut text = String::from(prefix);
+        text.push(self.bump().unwrap_or_default()); // opening quote
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                Some('\'') => {
+                    text.push('\'');
+                    break;
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.out.push(Token::new(TokKind::CharLit, text, line, col));
+    }
+
+    /// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` / `'🦀'` (char).
+    fn lifetime_or_char(&mut self, line: u32, col: u32) {
+        match self.peek(1) {
+            // `'\…'` is always a char literal.
+            Some('\\') => self.char_lit(line, col, ""),
+            Some(c) if Self::is_ident_start(c) => {
+                // Scan the identifier; a closing quote right after it means
+                // char literal (`'a'`), otherwise it is a lifetime
+                // (`'static`, `'a>`).
+                let mut i = 2;
+                while self.peek(i).is_some_and(Self::is_ident_continue) {
+                    i += 1;
+                }
+                if self.peek(i) == Some('\'') {
+                    self.char_lit(line, col, "");
+                } else {
+                    self.bump(); // the quote
+                    let mut name = String::new();
+                    while self.peek(0).is_some_and(Self::is_ident_continue) {
+                        name.push(self.bump().unwrap_or_default());
+                    }
+                    self.out
+                        .push(Token::new(TokKind::Lifetime, name, line, col));
+                }
+            }
+            // `'{'`-style punctuation chars.
+            _ => self.char_lit(line, col, ""),
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        let radix_prefix = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        if radix_prefix {
+            text.push(self.bump().unwrap_or_default());
+            text.push(self.bump().unwrap_or_default());
+        }
+        // Hex digits only after a radix prefix — a bare `e` in `1e9` must
+        // be left for the exponent logic below.
+        while self.peek(0).is_some_and(|c| {
+            c == '_'
+                || if radix_prefix {
+                    c.is_ascii_hexdigit()
+                } else {
+                    c.is_ascii_digit()
+                }
+        }) {
+            text.push(self.bump().unwrap_or_default());
+        }
+        // Fraction: only for non-radix literals, and only when the `.` is
+        // not the start of `..` or a method call like `1.pow(…)`.
+        if !radix_prefix
+            && self.peek(0) == Some('.')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            float = true;
+            text.push(self.bump().unwrap_or_default());
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                text.push(self.bump().unwrap_or_default());
+            }
+        }
+        // Trailing-dot float (`1.` followed by neither `.` nor an ident).
+        if !radix_prefix
+            && !float
+            && self.peek(0) == Some('.')
+            && !self
+                .peek(1)
+                .is_some_and(|c| c == '.' || Self::is_ident_start(c))
+        {
+            float = true;
+            text.push(self.bump().unwrap_or_default());
+        }
+        // Exponent.
+        if !radix_prefix
+            && matches!(self.peek(0), Some('e' | 'E'))
+            && (self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                || (matches!(self.peek(1), Some('+' | '-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit())))
+        {
+            float = true;
+            text.push(self.bump().unwrap_or_default());
+            if matches!(self.peek(0), Some('+' | '-')) {
+                text.push(self.bump().unwrap_or_default());
+            }
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit()) {
+                text.push(self.bump().unwrap_or_default());
+            }
+        }
+        // Type suffix (`u64`, `f32`, …).
+        let mut suffix = String::new();
+        while self.peek(0).is_some_and(Self::is_ident_continue) {
+            suffix.push(self.bump().unwrap_or_default());
+        }
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        text.push_str(&suffix);
+        let kind = if float {
+            TokKind::FloatLit
+        } else {
+            TokKind::IntLit
+        };
+        self.out.push(Token::new(kind, text, line, col));
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while self.peek(0).is_some_and(Self::is_ident_continue) {
+            text.push(self.bump().unwrap_or_default());
+        }
+        // Raw identifier `r#fn`: strip the sigil so rules match on the name.
+        if text == "r"
+            && self.peek(0) == Some('#')
+            && self.peek(1).is_some_and(Self::is_ident_start)
+        {
+            self.bump();
+            text.clear();
+            while self.peek(0).is_some_and(Self::is_ident_continue) {
+                text.push(self.bump().unwrap_or_default());
+            }
+        }
+        self.out.push(Token::new(TokKind::Ident, text, line, col));
+    }
+
+    fn punct(&mut self, line: u32, col: u32) {
+        for joined in JOINED_PUNCT {
+            if joined
+                .chars()
+                .enumerate()
+                .all(|(i, c)| self.peek(i) == Some(c))
+            {
+                for _ in 0..joined.chars().count() {
+                    self.bump();
+                }
+                self.out
+                    .push(Token::new(TokKind::Punct, *joined, line, col));
+                return;
+            }
+        }
+        let c = self.bump().unwrap_or_default();
+        self.out
+            .push(Token::new(TokKind::Punct, c.to_string(), line, col));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = kinds("fn foo(x: u64) -> bool { x += 1; x == 2 }");
+        assert!(toks.contains(&(TokKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokKind::Punct, "->".into())));
+        assert!(toks.contains(&(TokKind::Punct, "+=".into())));
+        assert!(toks.contains(&(TokKind::Punct, "==".into())));
+    }
+
+    #[test]
+    fn strings_with_escapes_hide_their_contents() {
+        // The quoted `unwrap()` must come out as one StrLit token, never
+        // as an Ident a rule could match.
+        let toks = kinds(r#"let s = "call unwrap() \" quoted";"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Ident).count(),
+            2, // let, s
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::StrLit && t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"panic! " inside"#; let t = 1;"###);
+        let raw = toks
+            .iter()
+            .find(|(k, _)| *k == TokKind::RawStrLit)
+            .expect("raw string lexed");
+        assert!(raw.1.contains("panic!"));
+        // Lexing resumed correctly after the raw string.
+        assert!(toks.contains(&(TokKind::Ident, "t".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"assert!"; let b = b'x';"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::StrLit && t.starts_with("b\"")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::CharLit && t == "b'x'"));
+    }
+
+    #[test]
+    fn line_and_block_comments_including_nested() {
+        let toks = kinds("code /* outer /* inner */ still */ more // tail unwrap()");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::BlockComment
+            && t.contains("inner")
+            && t.contains("still")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::LineComment && t.contains("tail")));
+        // `unwrap` in the comment is not an Ident token.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+        assert!(toks.contains(&(TokKind::Ident, "more".into())));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds("/// example: `x.unwrap()`\nfn f() {}");
+        assert!(matches!(toks[0], (TokKind::LineComment, _)));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks =
+            kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let s = 'static_lt; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3, "{lifetimes:?}");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::CharLit)
+            .collect();
+        assert_eq!(chars.len(), 2, "{chars:?}");
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        let toks = kinds("1 1_000u64 0xFF 2.5 1e9 2.5e-3f32 1f64 0..n 1.max(2)");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::FloatLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["2.5", "1e9", "2.5e-3f32", "1f64"]);
+        // `0..n` keeps `..` as punct, `1.max` keeps `1` an int.
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_strip_the_sigil() {
+        let toks = kinds("let r#fn = 1; r#unwrap();");
+        assert!(toks.contains(&(TokKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab cd\n  ef");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (1, 4));
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+    }
+}

@@ -1,0 +1,286 @@
+//! `pcm-lint` — the workspace's in-repo static-analysis pass.
+//!
+//! The last two PRs made hard correctness promises: bit-identical
+//! sharded vs. sequential execution, integer-tick scrub scheduling,
+//! per-bank RNG streams, and library paths that return typed errors
+//! instead of panicking. Nothing in `rustc`/`clippy` enforces those —
+//! they hold only until an edit reintroduces a float tick, an ad-hoc
+//! second lock, or an `unwrap()` in a hot path. This crate machine-checks
+//! them:
+//!
+//! * [`rules`] — the invariant catalogue (`no-panic-lib`,
+//!   `no-float-tick`, `no-ambient-nondeterminism`, `lock-discipline`,
+//!   `no-deprecated-internal`);
+//! * [`lexer`] — a hand-rolled, dependency-free Rust lexer (the
+//!   hermetic build cannot fetch `syn`);
+//! * [`source`] — test-region / fn-span / allow-comment structure.
+//!
+//! Run it as `cargo lint` (alias for `cargo run -p xtask -- lint`).
+//! Suppress a finding with `// pcm-lint: allow(<rule>)` on the same or
+//! the preceding line, plus a one-line justification.
+
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use source::SourceFile;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id (also the allow-comment key).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub suggestion: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}\n    help: {}",
+            self.file, self.line, self.col, self.rule, self.message, self.suggestion
+        )
+    }
+}
+
+impl Diagnostic {
+    /// Render as a JSON object (hand-rolled; no serde in the hermetic
+    /// build).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"rule":{},"file":{},"line":{},"col":{},"message":{},"suggestion":{}}}"#,
+            json_str(self.rule),
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.suggestion)
+        )
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Lint one source string. `rel` is the path reported in diagnostics;
+/// `crate_name` selects which rules apply.
+pub fn lint_source(rel: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+    let f = SourceFile::parse(rel, crate_name, src);
+    let mut out = Vec::new();
+    for rule in rules::all() {
+        rule.check(&f, &mut out);
+    }
+    out.retain(|d| !f.is_allowed(d.rule, d.line));
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Expected-diagnostic markers in fixture files: a trailing
+/// `//~ <rule-id>` comment asserts one diagnostic of that rule on its
+/// line. Returns `(line, rule)` pairs in line order.
+pub fn expected_markers(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for tok in lexer::lex(src) {
+        if tok.kind != lexer::TokKind::LineComment {
+            continue;
+        }
+        if let Some(rest) = tok.text.strip_prefix("//~") {
+            out.push((tok.line, rest.trim().to_string()));
+        }
+    }
+    out
+}
+
+/// A workspace crate to lint.
+#[derive(Debug, Clone)]
+pub struct CrateDir {
+    /// Package name from its `Cargo.toml`.
+    pub name: String,
+    /// Path to the crate root (directory containing `Cargo.toml`).
+    pub dir: PathBuf,
+}
+
+/// Crates the lint never walks: shims mimic external crate APIs, and
+/// xtask's own fixture corpus is deliberate violations.
+const SKIPPED_MEMBER_PREFIXES: &[&str] = &["crates/shim", "crates/xtask"];
+
+/// Discover the workspace's lintable crates from the root `Cargo.toml`
+/// (hand-parsed: the hermetic build has no toml crate). Includes the
+/// root `mlc-pcm` package itself.
+pub fn workspace_crates(root: &Path) -> io::Result<Vec<CrateDir>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut members: Vec<String> = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with("members") {
+            in_members = true;
+        }
+        if in_members {
+            for piece in line.split('"').skip(1).step_by(2) {
+                members.push(piece.to_string());
+            }
+            if line.contains(']') {
+                break;
+            }
+        }
+    }
+    let mut crates = Vec::new();
+    for member in members {
+        if SKIPPED_MEMBER_PREFIXES
+            .iter()
+            .any(|p| member.starts_with(p))
+        {
+            continue;
+        }
+        let dir = root.join(&member);
+        if let Some(name) = package_name(&dir.join("Cargo.toml"))? {
+            crates.push(CrateDir { name, dir });
+        }
+    }
+    // The root package (`mlc-pcm`) has its own src/.
+    if let Some(name) = package_name(&root.join("Cargo.toml"))? {
+        crates.push(CrateDir {
+            name,
+            dir: root.to_path_buf(),
+        });
+    }
+    Ok(crates)
+}
+
+/// The `name = "…"` of a manifest's `[package]` section, if present.
+fn package_name(manifest: &Path) -> io::Result<Option<String>> {
+    let text = match fs::read_to_string(manifest) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package && line.starts_with("name") {
+            if let Some(name) = line.split('"').nth(1) {
+                return Ok(Some(name.to_string()));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Lint every `src/**/*.rs` of every workspace crate. Diagnostics come
+/// back sorted by file, then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for krate in workspace_crates(root)? {
+        let src_dir = krate.dir.join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = fs::read_to_string(&path)?;
+            out.extend(lint_source(&rel, &krate.name, &src));
+        }
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_comment_suppresses_the_diagnostic() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // pcm-lint: allow(no-panic-lib)\n}\n";
+        assert!(lint_source("lib.rs", "pcm-core", src).is_empty());
+        let src_no_allow = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diags = lint_source("lib.rs", "pcm-core", src_no_allow);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "no-panic-lib");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn rules_scope_by_crate() {
+        // unwrap in a non-library crate (bench) is fine.
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint_source("lib.rs", "pcm-bench", src).is_empty());
+        assert_eq!(lint_source("lib.rs", "pcm-ecc", src).len(), 1);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let d = Diagnostic {
+            rule: "no-panic-lib",
+            file: "a\\b.rs".into(),
+            line: 1,
+            col: 2,
+            message: "say \"hi\"".into(),
+            suggestion: "line\nbreak".into(),
+        };
+        let j = d.to_json();
+        assert!(j.contains(r#""file":"a\\b.rs""#));
+        assert!(j.contains(r#"say \"hi\""#));
+        assert!(j.contains(r#"line\nbreak"#));
+    }
+
+    #[test]
+    fn expected_markers_parse() {
+        let src = "fn f() {\n    x.unwrap(); //~ no-panic-lib\n}\n";
+        assert_eq!(expected_markers(src), vec![(2, "no-panic-lib".into())]);
+    }
+}

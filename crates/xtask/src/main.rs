@@ -1,0 +1,111 @@
+//! Workspace automation driver. Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--json] [FILE…]
+//! ```
+//!
+//! With no files, lints every workspace crate's `src/`. Exits non-zero
+//! when any diagnostic is produced. `--json` prints a JSON array (for CI
+//! annotation tooling) instead of human-readable text.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo run -p xtask -- lint [--json] [FILE…]");
+    eprintln!();
+    eprintln!("rules:");
+    for rule in xtask::rules::all() {
+        eprintln!("  {:<26} {}", rule.id(), rule.describe());
+    }
+    eprintln!();
+    eprintln!("suppress with `// pcm-lint: allow(<rule>)` plus a justification");
+}
+
+/// The workspace root: xtask lives at `<root>/crates/xtask`.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    let root = workspace_root();
+    let diags = if files.is_empty() {
+        match xtask::lint_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("pcm-lint: workspace walk failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut out = Vec::new();
+        for path in &files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("pcm-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let rel = path.to_string_lossy().replace('\\', "/");
+            // Explicit files get the strictest scope: treat them as
+            // library+determinism+locking code so every rule can fire.
+            out.extend(xtask::lint_source(&rel, "pcm-device", &src));
+        }
+        out
+    };
+
+    if json {
+        let body: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
+        println!("[{}]", body.join(",\n "));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+    }
+    if diags.is_empty() {
+        eprintln!("pcm-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        let files: std::collections::BTreeSet<&str> =
+            diags.iter().map(|d| d.file.as_str()).collect();
+        eprintln!(
+            "pcm-lint: {} diagnostic(s) across {} file(s)",
+            diags.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,86 @@
+//! `lock-discipline`: multi-bank locking goes through the canonical
+//! sorted-acquisition helper.
+//!
+//! The sharded engine (PR 1) holds one `Mutex<PcmBank>` per bank. Any
+//! function that acquires two or more guards ad hoc can deadlock with a
+//! sibling acquiring them in the opposite order. The canonical pattern is
+//! `ShardedPcmDevice::lock_pair_ordered`, which always locks the
+//! lower-numbered bank first; this rule flags every non-test function in
+//! the locking crates whose body performs two or more acquisitions
+//! (`.lock(…)` calls or the `lock_bank` poison-handling wrapper) without
+//! routing through that helper.
+//!
+//! This is a lexical rule: sequential acquire-release pairs inside one
+//! function (e.g. lock bank A, drop, lock bank B) are flagged too —
+//! either restructure to a single acquisition, use the helper, or add an
+//! allow comment stating why ordering cannot invert.
+
+use super::{Rule, LOCK_CRATES};
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+pub struct LockDiscipline;
+
+/// The canonical helper; a function with this name, or calling it, may
+/// acquire multiple guards.
+const CANONICAL_HELPER: &str = "lock_pair_ordered";
+/// The repo's poison-handling single-acquisition wrapper. Calls to it
+/// count as acquisitions; its own body is exempt.
+const ACQUIRE_WRAPPER: &str = "lock_bank";
+
+impl Rule for LockDiscipline {
+    fn id(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn describe(&self) -> &'static str {
+        "flag functions acquiring 2+ Mutex guards without the sorted-acquisition helper"
+    }
+
+    fn check(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
+        if !LOCK_CRATES.contains(&f.crate_name.as_str()) {
+            return;
+        }
+        for span in &f.fns {
+            if span.in_test
+                || span.name == CANONICAL_HELPER
+                || span.name == ACQUIRE_WRAPPER
+                || span.body_start >= span.end
+            {
+                continue;
+            }
+            let mut acquisitions = Vec::new();
+            let mut routes_through_helper = false;
+            for i in span.body_start..span.end {
+                let direct_lock =
+                    f.is_ident(i, "lock") && f.is_punct(i + 1, "(") && f.is_punct(i - 1, ".");
+                let wrapped_lock = f.is_ident(i, ACQUIRE_WRAPPER) && f.is_punct(i + 1, "(");
+                if direct_lock || wrapped_lock {
+                    acquisitions.push(i);
+                } else if f.is_ident(i, CANONICAL_HELPER) {
+                    routes_through_helper = true;
+                }
+            }
+            if acquisitions.len() >= 2 && !routes_through_helper {
+                let t = &f.code[acquisitions[1]];
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    file: f.rel.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "fn `{}` performs {} lock acquisitions without the canonical ordered \
+                         helper",
+                        span.name,
+                        acquisitions.len()
+                    ),
+                    suggestion: "route multi-bank acquisition through \
+                                 ShardedPcmDevice::lock_pair_ordered (locks ascend by bank id), \
+                                 restructure to one acquisition, or add `// pcm-lint: \
+                                 allow(lock-discipline)` proving the order cannot invert"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}

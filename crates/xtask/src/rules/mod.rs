@@ -1,0 +1,52 @@
+//! The `pcm-lint` rule set.
+//!
+//! Each rule enforces one repo-specific invariant introduced by an
+//! earlier PR (see DESIGN.md §11 for the full table). Rules operate on a
+//! [`SourceFile`] token stream and emit [`Diagnostic`]s; the engine
+//! filters out spans covered by a `// pcm-lint: allow(<rule>)` comment.
+
+use crate::source::SourceFile;
+use crate::Diagnostic;
+
+mod ambient;
+mod deprecated_internal;
+mod float_tick;
+mod lock_discipline;
+mod panic_lib;
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable rule id, as used in diagnostics and allow comments.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list` style output and docs.
+    fn describe(&self) -> &'static str;
+    /// Scan one file, pushing diagnostics.
+    fn check(&self, f: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Every registered rule, in diagnostic-id order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(panic_lib::NoPanicLib),
+        Box::new(float_tick::NoFloatTick),
+        Box::new(ambient::NoAmbientNondeterminism),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(deprecated_internal::NoDeprecatedInternal),
+    ]
+}
+
+/// The library crates whose non-test code must not panic.
+pub const LIB_CRATES: &[&str] = &[
+    "pcm-core",
+    "pcm-device",
+    "pcm-sim",
+    "pcm-ecc",
+    "pcm-codec",
+    "pcm-wearout",
+];
+
+/// The crates whose results must be a pure function of the seed.
+pub const DETERMINISM_CRATES: &[&str] = &["pcm-core", "pcm-device", "pcm-sim"];
+
+/// The crates that take bank locks.
+pub const LOCK_CRATES: &[&str] = &["pcm-device", "pcm-sim"];

@@ -1,0 +1,366 @@
+//! Token-stream structure on top of the lexer: test regions, function
+//! bodies, and `// pcm-lint: allow(…)` suppression comments.
+//!
+//! `pcm-lint` rules only apply to *library* code, so the model's main job
+//! is deciding which tokens are test-only: any item (fn, mod, impl, …)
+//! under a `#[cfg(test)]` or `#[test]` attribute is excluded, including
+//! everything inside a `#[cfg(test)] mod tests { … }` block. Doc examples
+//! need no special casing — they live inside comment tokens and never
+//! reach the code stream.
+
+use crate::lexer::{lex, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A function item found in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Index (into [`SourceFile::code`]) of the `fn` keyword.
+    pub start: usize,
+    /// Index of the body's opening `{` (== `end` for bodyless decls).
+    pub body_start: usize,
+    /// Index one past the body's closing `}`.
+    pub end: usize,
+    /// True when the function is test-only code.
+    pub in_test: bool,
+}
+
+/// A lexed file plus the structure the rules need.
+pub struct SourceFile {
+    /// Path as reported in diagnostics (workspace-relative).
+    pub rel: String,
+    /// Name of the crate this file belongs to.
+    pub crate_name: String,
+    /// Code tokens (comments stripped).
+    pub code: Vec<Token>,
+    /// Comment tokens, in source order.
+    pub comments: Vec<Token>,
+    /// `in_test[i]` — is `code[i]` inside test-only code?
+    pub in_test: Vec<bool>,
+    /// Function spans, outermost first (nested fns appear separately).
+    pub fns: Vec<FnSpan>,
+    /// line → rule ids suppressed by a `pcm-lint: allow(…)` comment.
+    allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+impl SourceFile {
+    /// Lex and structure `src`.
+    pub fn parse(rel: &str, crate_name: &str, src: &str) -> Self {
+        let mut code = Vec::new();
+        let mut comments = Vec::new();
+        for tok in lex(src) {
+            match tok.kind {
+                TokKind::LineComment | TokKind::BlockComment => comments.push(tok),
+                _ => code.push(tok),
+            }
+        }
+        let in_test = mark_test_regions(&code);
+        let fns = find_fns(&code, &in_test);
+        let allows = collect_allows(&comments);
+        Self {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            code,
+            comments,
+            in_test,
+            fns,
+            allows,
+        }
+    }
+
+    /// Is a diagnostic of `rule` at `line` suppressed? Allow comments act
+    /// on their own line and the line directly below, so both trailing
+    /// (`stmt; // pcm-lint: allow(x)`) and preceding-line placements work.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.allows.get(l).is_some_and(|s| s.contains(rule)))
+    }
+
+    /// Convenience: the code token at `i`, if any.
+    pub fn tok(&self, i: usize) -> Option<&Token> {
+        self.code.get(i)
+    }
+
+    /// Is `code[i]` an Ident with this exact text?
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.tok(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+    }
+
+    /// Is `code[i]` a Punct with this exact text?
+    pub fn is_punct(&self, i: usize, text: &str) -> bool {
+        self.tok(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+    }
+}
+
+/// Parse `pcm-lint: allow(rule-a, rule-b)` out of comment tokens.
+fn collect_allows(comments: &[Token]) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut map: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for c in comments {
+        let Some(at) = c.text.find("pcm-lint:") else {
+            continue;
+        };
+        let rest = &c.text[at + "pcm-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let Some(close) = rest[open..].find(')') else {
+            continue;
+        };
+        for rule in rest[open + "allow(".len()..open + close].split(',') {
+            map.entry(c.line)
+                .or_default()
+                .insert(rule.trim().to_string());
+        }
+    }
+    map
+}
+
+/// Mark the token ranges of test-only items.
+///
+/// Walks the stream looking for `#[test]` / `#[cfg(test)]`-family
+/// attributes; the attributed item's full extent (to its matching `}` or
+/// terminating `;`) is marked, nested content included.
+fn mark_test_regions(code: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].kind == TokKind::Punct && code[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // `#[…]` or `#![…]` — collect the attribute's tokens.
+        let mut j = i + 1;
+        if j < code.len() && code[j].kind == TokKind::Punct && code[j].text == "!" {
+            j += 1;
+        }
+        if !(j < code.len() && code[j].kind == TokKind::Punct && code[j].text == "[") {
+            i += 1;
+            continue;
+        }
+        let attr_start = j + 1;
+        let mut depth = 1usize;
+        j += 1;
+        while j < code.len() && depth > 0 {
+            match (code[j].kind, code[j].text.as_str()) {
+                (TokKind::Punct, "[") => depth += 1,
+                (TokKind::Punct, "]") => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let attr = &code[attr_start..j.saturating_sub(1)];
+        if is_test_attr(attr) {
+            // Skip any further attributes on the same item.
+            let mut item = j;
+            while item < code.len() && code[item].kind == TokKind::Punct && code[item].text == "#" {
+                item = skip_attr(code, item);
+            }
+            let end = item_end(code, item);
+            for flag in in_test.iter_mut().take(end).skip(i) {
+                *flag = true;
+            }
+            i = end;
+        } else {
+            i = j;
+        }
+    }
+    in_test
+}
+
+/// Does this attribute token slice mean "test-only"? Matches `test`,
+/// `cfg(test)`, and composites like `cfg(all(test, feature = "x"))`.
+fn is_test_attr(attr: &[Token]) -> bool {
+    match attr.first() {
+        Some(t) if t.kind == TokKind::Ident && t.text == "test" => attr.len() == 1,
+        Some(t) if t.kind == TokKind::Ident && t.text == "cfg" => attr
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "test"),
+        _ => false,
+    }
+}
+
+/// Given `code[i] == "#"`, return the index just past the attribute.
+fn skip_attr(code: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < code.len() && code[j].kind == TokKind::Punct && code[j].text == "!" {
+        j += 1;
+    }
+    if !(j < code.len() && code[j].kind == TokKind::Punct && code[j].text == "[") {
+        return i + 1;
+    }
+    let mut depth = 1usize;
+    j += 1;
+    while j < code.len() && depth > 0 {
+        match (code[j].kind, code[j].text.as_str()) {
+            (TokKind::Punct, "[") => depth += 1,
+            (TokKind::Punct, "]") => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The index one past the end of the item starting at `i`: either past
+/// the matching `}` of its first top-level brace block, or past the
+/// terminating `;` (whichever comes first at nesting depth 0).
+fn item_end(code: &[Token], i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0isize;
+    while j < code.len() {
+        match (code[j].kind, code[j].text.as_str()) {
+            (TokKind::Punct, "{" | "(" | "[") => depth += 1,
+            (TokKind::Punct, ")" | "]") => depth -= 1,
+            (TokKind::Punct, "}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            (TokKind::Punct, ";") if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// Locate every `fn` item and its body extent.
+fn find_fns(code: &[Token], in_test: &[bool]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..code.len() {
+        if !(code[i].kind == TokKind::Ident && code[i].text == "fn") {
+            continue;
+        }
+        // `fn` must be followed by the function's name.
+        let Some(name_tok) = code.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Find the body's `{`, or `;` for bodyless trait/extern decls.
+        // Parens/brackets (argument lists, array types) are skipped as
+        // nested groups; the first top-level `{` starts the body.
+        let mut j = i + 2;
+        let mut depth = 0isize;
+        let mut body_start = None;
+        while j < code.len() {
+            match (code[j].kind, code[j].text.as_str()) {
+                (TokKind::Punct, "(" | "[") => depth += 1,
+                (TokKind::Punct, ")" | "]") => depth -= 1,
+                (TokKind::Punct, "{") if depth == 0 => {
+                    body_start = Some(j);
+                    break;
+                }
+                (TokKind::Punct, ";") if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(body_start) = body_start else {
+            fns.push(FnSpan {
+                name: name_tok.text.clone(),
+                start: i,
+                body_start: j,
+                end: j,
+                in_test: in_test.get(i).copied().unwrap_or(false),
+            });
+            continue;
+        };
+        let end = item_end(code, body_start);
+        fns.push(FnSpan {
+            name: name_tok.text.clone(),
+            start: i,
+            body_start,
+            end,
+            in_test: in_test.get(i).copied().unwrap_or(false),
+        });
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs", "test-crate", src)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked_to_its_closing_brace() {
+        let f = file(
+            "fn lib_code() { x.unwrap(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() { y.unwrap(); }\n\
+                 #[test]\n\
+                 fn t() { z.unwrap(); }\n\
+             }\n\
+             fn more_lib() {}\n",
+        );
+        let unwraps: Vec<bool> = f
+            .code
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, &b)| b)
+            .collect();
+        assert_eq!(unwraps, vec![false, true, true]);
+        let more = f
+            .code
+            .iter()
+            .zip(&f.in_test)
+            .find(|(t, _)| t.text == "more_lib")
+            .map(|(_, &b)| b);
+        assert_eq!(more, Some(false));
+    }
+
+    #[test]
+    fn test_attr_on_single_fn() {
+        let f = file("#[test]\nfn t() { a.unwrap(); }\nfn lib() { b.unwrap(); }");
+        let unwraps: Vec<bool> = f
+            .code
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, &b)| b)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies_and_names() {
+        let f = file("fn alpha(x: [u8; 4]) -> u32 { if x[0] > 0 { 1 } else { 2 } }\nfn beta() {}");
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "alpha");
+        assert_eq!(f.fns[1].name, "beta");
+        // alpha's span must include both nested braces and stop before beta.
+        let alpha = &f.fns[0];
+        let beta = &f.fns[1];
+        assert!(alpha.end <= beta.start);
+        assert!(f.code[alpha.body_start].text == "{");
+        assert!(f.code[alpha.end - 1].text == "}");
+    }
+
+    #[test]
+    fn allow_comments_cover_their_line_and_the_next() {
+        let f = file(
+            "// pcm-lint: allow(no-panic-lib)\n\
+             fn f() {}\n\
+             fn g() {} // pcm-lint: allow(rule-a, rule-b)\n",
+        );
+        assert!(f.is_allowed("no-panic-lib", 1));
+        assert!(f.is_allowed("no-panic-lib", 2));
+        assert!(!f.is_allowed("no-panic-lib", 3));
+        assert!(f.is_allowed("rule-a", 3));
+        assert!(f.is_allowed("rule-b", 3));
+        assert!(f.is_allowed("rule-a", 4));
+        assert!(!f.is_allowed("rule-c", 3));
+    }
+}
