@@ -6,7 +6,7 @@
 //! no overhead (thread counts land within noise of each other and of
 //! the sequential baseline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use pcm_core::level::LevelDesign;
 use pcm_device::{CellOrganization, PcmDevice, ShardedPcmDevice, ShardedScrubber};
 use pcm_wearout::fault::EnduranceModel;
@@ -152,4 +152,48 @@ criterion_group!(
     bench_sequential_baseline,
     bench_demand_with_background_scrub
 );
-criterion_main!(benches);
+
+/// With `--metrics-out <path>` (after `cargo bench ... --`), write the
+/// metrics registry of a fixed post-bench workload as JSONL. The
+/// workload is deterministic (fixed seed, fixed op schedule), so the
+/// artifact is byte-stable and diffable across runs and machines —
+/// wall-clock timings stay on stdout, modeled-time metrics in the file.
+fn write_metrics_artifact(path: &str) {
+    let dev = sharded(8);
+    let data = pcm_bench::payload(7);
+    run_ops(&dev, 4, &data);
+    let mut scrubber = ShardedScrubber::new(&dev, 2.0);
+    dev.advance_time(4.0);
+    scrubber.run_until_concurrent(&dev, 4.0, 2);
+    let doc = dev.metrics().snapshot().to_jsonl();
+    if let Err(e) = std::fs::write(path, &doc) {
+        eprintln!("device_concurrent: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("device_concurrent: metrics written to {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics-out" {
+            match args.get(i + 1) {
+                Some(p) => metrics_out = Some(p.clone()),
+                None => {
+                    eprintln!("device_concurrent: --metrics-out needs a path");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            // Harness flags like --bench are accepted and ignored.
+            i += 1;
+        }
+    }
+    benches();
+    if let Some(path) = metrics_out {
+        write_metrics_artifact(&path);
+    }
+}

@@ -26,6 +26,7 @@ use crate::device::{CellOrganization, PcmDevice};
 use crate::generic_block::GenericBlock;
 use crate::metrics::DeviceMetrics;
 use pcm_core::level::LevelDesign;
+use pcm_trace::{Recorder, TraceConfig};
 use pcm_wearout::fault::EnduranceModel;
 use std::sync::Arc;
 
@@ -83,6 +84,7 @@ pub struct DeviceBuilder {
     banks: usize,
     seed: u64,
     endurance: EnduranceModel,
+    trace: Option<TraceConfig>,
 }
 
 impl Default for DeviceBuilder {
@@ -100,6 +102,7 @@ impl DeviceBuilder {
             banks: 4,
             seed: 0,
             endurance: EnduranceModel::mlc(),
+            trace: None,
         }
     }
 
@@ -131,6 +134,16 @@ impl DeviceBuilder {
     /// Endurance model (defaults to MLC; SLC for accelerated studies).
     pub fn endurance(mut self, endurance: EnduranceModel) -> Self {
         self.endurance = endurance;
+        self
+    }
+
+    /// Enable deterministic model-time event tracing: the device (and
+    /// every handle derived from it — sessions, the other engine after
+    /// a conversion, scrub controllers) records into a shared per-bank
+    /// ring buffer reachable via `tracer().buffer()`. Without this,
+    /// tracing costs one branch per operation.
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
         self
     }
 
@@ -169,10 +182,23 @@ impl DeviceBuilder {
             .collect())
     }
 
+    fn recorder(&self) -> Recorder {
+        match &self.trace {
+            Some(config) => Recorder::buffered(self.banks, config),
+            None => Recorder::disabled(),
+        }
+    }
+
     /// Build the sequential engine.
     pub fn build(self) -> Result<PcmDevice, ConfigError> {
         let metrics = Arc::new(DeviceMetrics::new(self.banks));
-        Ok(PcmDevice::from_banks(self.build_banks()?, 0.0, metrics))
+        let trace = self.recorder();
+        Ok(PcmDevice::from_banks(
+            self.build_banks()?,
+            0.0,
+            metrics,
+            trace,
+        ))
     }
 
     /// Build the lock-sharded concurrent engine from the same
@@ -180,10 +206,12 @@ impl DeviceBuilder {
     /// same seed and per-bank operation order).
     pub fn build_sharded(self) -> Result<ShardedPcmDevice, ConfigError> {
         let metrics = Arc::new(DeviceMetrics::new(self.banks));
+        let trace = self.recorder();
         Ok(ShardedPcmDevice::from_banks(
             self.build_banks()?,
             0.0,
             metrics,
+            trace,
         ))
     }
 }

@@ -45,6 +45,8 @@ use crate::block::{ReadReport, WriteReport, BLOCK_BYTES};
 use crate::device::{DeviceStats, PcmDevice};
 use crate::error::PcmError;
 use crate::metrics::{self, DeviceMetrics};
+use crate::trace_hooks;
+use pcm_trace::Recorder;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -74,10 +76,16 @@ pub struct ShardedPcmDevice {
     /// Device clock, seconds, stored as `f64::to_bits`.
     now_bits: AtomicU64,
     metrics: Arc<DeviceMetrics>,
+    trace: Recorder,
 }
 
 impl ShardedPcmDevice {
-    pub(crate) fn from_banks(banks: Vec<PcmBank>, now: f64, metrics: Arc<DeviceMetrics>) -> Self {
+    pub(crate) fn from_banks(
+        banks: Vec<PcmBank>,
+        now: f64,
+        metrics: Arc<DeviceMetrics>,
+        trace: Recorder,
+    ) -> Self {
         debug_assert_eq!(metrics.banks(), banks.len());
         let blocks = banks.iter().map(PcmBank::blocks).sum();
         let cells_per_block = banks.first().map_or(0, PcmBank::cells_per_block);
@@ -87,6 +95,7 @@ impl ShardedPcmDevice {
             cells_per_block,
             now_bits: AtomicU64::new(now.to_bits()),
             metrics,
+            trace,
         }
     }
 
@@ -105,7 +114,7 @@ impl ShardedPcmDevice {
                     .expect("no shard lock can outlive the device")
             })
             .collect();
-        PcmDevice::from_banks(banks, now, self.metrics)
+        PcmDevice::from_banks(banks, now, self.metrics, self.trace)
     }
 
     /// The observability registry: per-bank atomic counters and latency
@@ -113,6 +122,16 @@ impl ShardedPcmDevice {
     /// the sequential engine across conversions.
     pub fn metrics(&self) -> &DeviceMetrics {
         &self.metrics
+    }
+
+    /// The event recorder: disabled (one branch per op) unless the
+    /// device was built with
+    /// [`DeviceBuilder::trace`](crate::builder::DeviceBuilder::trace).
+    /// Events for a bank are recorded while that bank's lock is held, so
+    /// each bank's stream order equals its operation order — the basis
+    /// of the trace determinism oracle.
+    pub fn tracer(&self) -> &Recorder {
+        &self.trace
     }
 
     /// A handle for issuing operations from one thread. Sessions are
@@ -196,6 +215,39 @@ impl ShardedPcmDevice {
         }
     }
 
+    /// Trace a write outcome. Must be called while the bank's lock is
+    /// still held so the bank's event order equals its op order.
+    fn trace_write(
+        &self,
+        shard: usize,
+        block: usize,
+        now: f64,
+        cells: u64,
+        r: &Result<WriteReport, PcmError>,
+    ) {
+        let outcome = match r {
+            Ok(rep) => Ok((rep.attempts, rep.new_faults as u64)),
+            Err(e) => match trace_hooks::pcm_error_code(e) {
+                Some(code) => Err(code),
+                None => return,
+            },
+        };
+        trace_hooks::write_event(&self.trace, shard, block, now, cells, outcome);
+    }
+
+    /// Trace a read outcome (same under-the-lock rule as
+    /// [`Self::trace_write`]).
+    fn trace_read(&self, shard: usize, block: usize, now: f64, r: &Result<ReadReport, PcmError>) {
+        let outcome = match r {
+            Ok(rep) => Ok(rep.corrected_bits as u64),
+            Err(e) => match trace_hooks::pcm_error_code(e) {
+                Some(code) => Err(code),
+                None => return,
+            },
+        };
+        trace_hooks::read_event(&self.trace, shard, block, now, outcome);
+    }
+
     /// Write 64 bytes to a block (locks only that block's bank).
     pub fn write_block(&self, block: usize, data: &[u8]) -> Result<WriteReport, PcmError> {
         let (shard, local) = self.locate(block)?;
@@ -203,6 +255,7 @@ impl ShardedPcmDevice {
         let cells = self.cells_per_block as u64;
         let mut bank = lock_bank(&self.shards[shard]);
         let r = bank.write(local, now, data).map_err(PcmError::from);
+        self.trace_write(shard, block, now, cells, &r);
         drop(bank);
         self.note_write(shard, cells, &r);
         r
@@ -214,6 +267,7 @@ impl ShardedPcmDevice {
         let now = self.now();
         let mut bank = lock_bank(&self.shards[shard]);
         let r = bank.read(local, now).map_err(PcmError::from);
+        self.trace_read(shard, block, now, &r);
         drop(bank);
         self.note_read(shard, &r);
         r
@@ -225,6 +279,14 @@ impl ShardedPcmDevice {
         let now = self.now();
         let mut bank = lock_bank(&self.shards[shard]);
         let r = bank.refresh(local, now).map_err(PcmError::from);
+        match &r {
+            Ok(()) => trace_hooks::refresh_event(&self.trace, shard, block, now, Ok(())),
+            Err(e) => {
+                if let Some(code) = trace_hooks::pcm_error_code(e) {
+                    trace_hooks::refresh_event(&self.trace, shard, block, now, Err(code));
+                }
+            }
+        }
         drop(bank);
         match &r {
             Ok(()) => self
@@ -277,14 +339,20 @@ impl ShardedPcmDevice {
             let mut bank = lock_bank(&self.shards[s_shard]);
             let read = bank.read(s_local, now).map_err(PcmError::from);
             self.note_read(s_shard, &read);
+            self.trace_read(s_shard, src, now, &read);
             let data = read?.data;
-            bank.write(d_local, now, &data).map_err(PcmError::from)
+            let w = bank.write(d_local, now, &data).map_err(PcmError::from);
+            self.trace_write(d_shard, dst, now, cells, &w);
+            w
         } else {
             let (mut s_bank, mut d_bank) = self.lock_pair_ordered(s_shard, d_shard);
             let read = s_bank.read(s_local, now).map_err(PcmError::from);
             self.note_read(s_shard, &read);
+            self.trace_read(s_shard, src, now, &read);
             let data = read?.data;
-            d_bank.write(d_local, now, &data).map_err(PcmError::from)
+            let w = d_bank.write(d_local, now, &data).map_err(PcmError::from);
+            self.trace_write(d_shard, dst, now, cells, &w);
+            w
         };
         self.note_write(d_shard, cells, &write);
         write
@@ -317,6 +385,7 @@ impl ShardedPcmDevice {
                 let local = block / self.shards.len();
                 let r = bank.write(local, now, data).map_err(PcmError::from);
                 self.note_write(shard, cells, &r);
+                self.trace_write(shard, block, now, cells, &r);
                 results[i] = Some(r);
             }
         }
@@ -348,6 +417,7 @@ impl ShardedPcmDevice {
                 let local = blocks[i] / self.shards.len();
                 let r = bank.read(local, now).map_err(PcmError::from);
                 self.note_read(shard, &r);
+                self.trace_read(shard, blocks[i], now, &r);
                 results[i] = Some(r);
             }
         }
@@ -388,8 +458,8 @@ impl ShardedPcmDevice {
 
 impl From<PcmDevice> for ShardedPcmDevice {
     fn from(dev: PcmDevice) -> Self {
-        let (banks, now, metrics) = dev.into_banks();
-        Self::from_banks(banks, now, metrics)
+        let (banks, now, metrics, trace) = dev.into_banks();
+        Self::from_banks(banks, now, metrics, trace)
     }
 }
 
@@ -434,6 +504,11 @@ impl<'d> Session<'d> {
     /// The device-wide observability registry (shared across sessions).
     pub fn metrics(&self) -> &'d DeviceMetrics {
         self.dev.metrics()
+    }
+
+    /// The device-wide event recorder (shared across sessions).
+    pub fn tracer(&self) -> &'d Recorder {
+        self.dev.tracer()
     }
 
     /// Write 64 bytes to a block.

@@ -18,8 +18,10 @@ use crate::block::{BlockError, ReadReport, WriteReport, BLOCK_BYTES};
 use crate::builder::DeviceBuilder;
 use crate::generic_block::GenericBlock;
 use crate::metrics::{self, DeviceMetrics};
+use crate::trace_hooks;
 use pcm_codec::enumerative::EnumerativeCode;
 use pcm_core::level::LevelDesign;
+use pcm_trace::Recorder;
 use pcm_wearout::fault::EnduranceModel;
 use std::sync::Arc;
 
@@ -109,6 +111,7 @@ pub struct PcmDevice {
     banks: Vec<PcmBank>,
     now: f64,
     metrics: Arc<DeviceMetrics>,
+    trace: Recorder,
 }
 
 impl PcmDevice {
@@ -161,17 +164,23 @@ impl PcmDevice {
             .unwrap_or_else(|e| panic!("invalid device geometry: {e}"))
     }
 
-    pub(crate) fn from_banks(banks: Vec<PcmBank>, now: f64, metrics: Arc<DeviceMetrics>) -> Self {
+    pub(crate) fn from_banks(
+        banks: Vec<PcmBank>,
+        now: f64,
+        metrics: Arc<DeviceMetrics>,
+        trace: Recorder,
+    ) -> Self {
         debug_assert_eq!(metrics.banks(), banks.len());
         Self {
             banks,
             now,
             metrics,
+            trace,
         }
     }
 
-    pub(crate) fn into_banks(self) -> (Vec<PcmBank>, f64, Arc<DeviceMetrics>) {
-        (self.banks, self.now, self.metrics)
+    pub(crate) fn into_banks(self) -> (Vec<PcmBank>, f64, Arc<DeviceMetrics>, Recorder) {
+        (self.banks, self.now, self.metrics, self.trace)
     }
 
     /// The observability registry: per-bank atomic counters and latency
@@ -179,6 +188,15 @@ impl PcmDevice {
     /// through conversions to) the sharded engine.
     pub fn metrics(&self) -> &DeviceMetrics {
         &self.metrics
+    }
+
+    /// The event recorder: disabled (one branch per op) unless the
+    /// device was built with
+    /// [`DeviceBuilder::trace`](crate::builder::DeviceBuilder::trace).
+    /// Shared with (and carried through conversions to) the sharded
+    /// engine, like the metrics registry.
+    pub fn tracer(&self) -> &Recorder {
+        &self.trace
     }
 
     /// Capacity in bytes.
@@ -245,6 +263,17 @@ impl PcmDevice {
             ),
             Err(_) => self.metrics.bank(bank).record_failure(),
         }
+        trace_hooks::write_event(
+            &self.trace,
+            bank,
+            block,
+            now,
+            cells,
+            match &r {
+                Ok(rep) => Ok((rep.attempts, rep.new_faults as u64)),
+                Err(e) => Err(trace_hooks::block_error_code(e)),
+            },
+        );
         r
     }
 
@@ -260,6 +289,16 @@ impl PcmDevice {
                 .record_read(rep.corrected_bits as u64, metrics::READ_BUSY_NS),
             Err(_) => self.metrics.bank(bank).record_failure(),
         }
+        trace_hooks::read_event(
+            &self.trace,
+            bank,
+            block,
+            now,
+            match &r {
+                Ok(rep) => Ok(rep.corrected_bits as u64),
+                Err(e) => Err(trace_hooks::block_error_code(e)),
+            },
+        );
         r
     }
 
@@ -277,6 +316,13 @@ impl PcmDevice {
                 .record_scrub(metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS),
             Err(_) => self.metrics.bank(bank).record_failure(),
         }
+        trace_hooks::refresh_event(
+            &self.trace,
+            bank,
+            block,
+            now,
+            r.as_ref().map_err(trace_hooks::block_error_code).copied(),
+        );
         r
     }
 

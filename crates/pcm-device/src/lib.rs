@@ -64,6 +64,7 @@ pub mod metrics;
 pub mod refresh;
 pub mod remap;
 pub mod scrub;
+mod trace_hooks;
 pub mod wear_level;
 
 pub use array::{CellArray, ProgramOutcome};
@@ -78,4 +79,7 @@ pub use metrics::{BankMetrics, BankMetricsSnapshot, DeviceMetrics, LogHistogram,
 pub use refresh::{RefreshController, RefreshReport};
 pub use remap::RemappedDevice;
 pub use scrub::{BankScrubCursor, ScrubScheduler, ShardedScrubber};
+// The tracing vocabulary, re-exported so device users need not depend
+// on pcm-trace directly.
+pub use pcm_trace::{Recorder, TraceConfig};
 pub use wear_level::{GapMove, StartGap, WearLeveledDevice};

@@ -107,15 +107,45 @@ impl LogHistogram {
             .collect()
     }
 
+    /// Fold another histogram's counts into this one. Both sides use
+    /// relaxed atomic ops, so merging is safe while either histogram is
+    /// still being recorded into (the result is then a snapshot-quality
+    /// sum, not an instantaneous one).
+    pub fn merge(&self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter().zip(&other.buckets) {
+            let n = b.load(Ordering::Relaxed);
+            if n != 0 {
+                a.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Fold plain bucket counts (e.g. a snapshot's `latency_buckets`)
+    /// into this histogram. Counts beyond [`HISTOGRAM_BUCKETS`] are
+    /// ignored.
+    pub fn merge_counts(&self, counts: &[u64]) {
+        for (a, &n) in self.buckets.iter().zip(counts) {
+            if n != 0 {
+                a.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Lower bound of the bucket containing quantile `q` (0 for an empty
-    /// histogram). `q` is clamped to `[0, 1]`.
+    /// histogram). `q` is clamped to `[0, 1]` (NaN reads as 0): `q = 0`
+    /// selects the bucket of the minimum sample, `q = 1` the bucket of
+    /// the maximum.
     pub fn quantile_floor(&self, q: f64) -> u64 {
         let counts = self.bucket_counts();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
         }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        // 1-based rank of the selected sample. The clamp guards both
+        // ends: q = 0 must still select rank 1, and float rounding for
+        // huge totals must not push the rank past the last sample.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, c) in counts.iter().enumerate() {
             seen += c;
@@ -236,6 +266,34 @@ impl BankMetricsSnapshot {
             *a += b;
         }
     }
+
+    /// The snapshot as one JSON object with a fixed field order (no
+    /// external dependencies). `latency_buckets` is emitted with
+    /// trailing zero buckets trimmed, which keeps lines compact and is
+    /// deterministic for a given snapshot.
+    pub fn to_jsonl(&self) -> String {
+        let last = self
+            .latency_buckets
+            .iter()
+            .rposition(|&c| c != 0)
+            .map_or(0, |i| i + 1);
+        let buckets: Vec<String> = self.latency_buckets[..last]
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        format!(
+            "{{\"reads\":{},\"writes\":{},\"scrubs\":{},\"corrected_symbols\":{},\
+             \"uncorrectables\":{},\"remaps\":{},\"busy_ns\":{},\"latency_buckets\":[{}]}}",
+            self.reads,
+            self.writes,
+            self.scrubs,
+            self.corrected_symbols,
+            self.uncorrectables,
+            self.remaps,
+            self.busy_ns,
+            buckets.join(",")
+        )
+    }
 }
 
 /// The per-device registry: one [`BankMetrics`] per bank.
@@ -301,6 +359,22 @@ impl MetricsSnapshot {
             })
             .collect()
     }
+
+    /// The whole registry as JSON Lines: one `{"bank":i,...}` object per
+    /// bank in bank order, then a final `{"bank":"total",...}` roll-up
+    /// line. Field order is fixed; every line ends with `\n`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (bank, snap) in self.per_bank.iter().enumerate() {
+            out.push_str(&format!("{{\"bank\":{},", bank));
+            out.push_str(&snap.to_jsonl()[1..]);
+            out.push('\n');
+        }
+        out.push_str("{\"bank\":\"total\",");
+        out.push_str(&self.total().to_jsonl()[1..]);
+        out.push('\n');
+        out
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +408,56 @@ mod tests {
         assert_eq!(h.quantile_floor(0.5), LogHistogram::bucket_floor(8));
         assert_eq!(h.quantile_floor(0.99), LogHistogram::bucket_floor(12));
         assert_eq!(LogHistogram::new().quantile_floor(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty: every quantile is 0.
+        let empty = LogHistogram::new();
+        assert_eq!(empty.quantile_floor(0.0), 0);
+        assert_eq!(empty.quantile_floor(1.0), 0);
+        // Single bucket: every quantile is that bucket's floor.
+        let one = LogHistogram::new();
+        one.record(300); // bucket 9, floor 256
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(one.quantile_floor(q), 256, "q={q}");
+        }
+        // q = 0 selects the minimum sample, q = 1 the maximum.
+        let h = LogHistogram::new();
+        h.record(0);
+        h.record(200);
+        h.record(5000);
+        assert_eq!(h.quantile_floor(0.0), 0);
+        assert_eq!(h.quantile_floor(1.0), LogHistogram::bucket_floor(13));
+        // Out-of-range and NaN inputs clamp instead of panicking.
+        assert_eq!(h.quantile_floor(-3.0), 0);
+        assert_eq!(h.quantile_floor(7.0), LogHistogram::bucket_floor(13));
+        assert_eq!(h.quantile_floor(f64::NAN), 0);
+    }
+
+    #[test]
+    fn histogram_merge_sums_buckets() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        for v in [200u64, 200, 1000] {
+            a.record(v);
+        }
+        for v in [1000u64, 4000, 0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        let counts = a.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[LogHistogram::bucket_of(200)], 2);
+        assert_eq!(counts[LogHistogram::bucket_of(1000)], 2);
+        assert_eq!(counts[LogHistogram::bucket_of(4000)], 1);
+        // Merging from a snapshot's plain counts is equivalent.
+        let c = LogHistogram::new();
+        c.merge_counts(&b.bucket_counts());
+        assert_eq!(c.bucket_counts(), b.bucket_counts());
+        // `b` itself is untouched by being merged from.
+        assert_eq!(b.count(), 3);
     }
 
     #[test]
@@ -377,5 +501,79 @@ mod tests {
         assert_eq!(m.snapshot().utilization(0.0), vec![0.0, 0.0]);
         // Clamped at 1.
         assert_eq!(m.snapshot().utilization(0.5)[0], 1.0);
+    }
+
+    #[test]
+    fn utilization_saturates_and_guards_zero_elapsed() {
+        let m = DeviceMetrics::new(3);
+        m.bank(0).record_write(0, 5_000);
+        m.bank(1).record_read(0, 200);
+        let snap = m.snapshot();
+        // Busy time greater than elapsed saturates at exactly 1.0.
+        let u = snap.utilization(1_000.0);
+        assert_eq!(u[0], 1.0);
+        assert!((u[1] - 0.2).abs() < 1e-12);
+        assert_eq!(u[2], 0.0, "idle bank");
+        // Zero and negative elapsed both take the guard path.
+        assert_eq!(snap.utilization(0.0), vec![0.0; 3]);
+        assert_eq!(snap.utilization(-1.0), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn accumulate_then_total_equals_total_of_sums() {
+        let m = DeviceMetrics::new(4);
+        for bank in 0..4 {
+            for k in 0..=bank {
+                m.bank(bank).record_write(k as u64, 1000 + 100 * k as u64);
+                m.bank(bank).record_read(1, 200);
+            }
+            m.bank(bank).record_scrub(1200);
+            if bank % 2 == 0 {
+                m.bank(bank).record_failure();
+            }
+        }
+        let snap = m.snapshot();
+        // Folding the banks one by one must equal the built-in total.
+        let mut folded = BankMetricsSnapshot::default();
+        for b in &snap.per_bank {
+            folded.accumulate(b);
+        }
+        assert_eq!(folded, snap.total());
+        // Field-level spot checks against sums computed independently.
+        assert_eq!(folded.writes, 1 + 2 + 3 + 4);
+        assert_eq!(folded.reads, 10);
+        assert_eq!(folded.scrubs, 4);
+        assert_eq!(folded.uncorrectables, 2);
+        assert_eq!(folded.remaps, 10, "sum of 0..=bank over 4 banks");
+        let hist: u64 = folded.latency_buckets.iter().sum();
+        assert_eq!(hist, folded.reads + folded.writes + folded.scrubs);
+        // Accumulating into a fresh default grows the bucket vec.
+        let mut empty = BankMetricsSnapshot::default();
+        empty.accumulate(&snap.per_bank[3]);
+        assert_eq!(empty, snap.per_bank[3]);
+    }
+
+    #[test]
+    fn snapshots_export_stable_jsonl() {
+        let m = DeviceMetrics::new(2);
+        m.bank(0).record_write(2, 1000);
+        m.bank(1).record_read(5, 200);
+        let snap = m.snapshot();
+        let line = snap.per_bank[0].to_jsonl();
+        assert_eq!(
+            line,
+            "{\"reads\":0,\"writes\":1,\"scrubs\":0,\"corrected_symbols\":0,\
+             \"uncorrectables\":0,\"remaps\":2,\"busy_ns\":1000,\
+             \"latency_buckets\":[0,0,0,0,0,0,0,0,0,0,1]}"
+        );
+        let doc = snap.to_jsonl();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3, "two banks + total");
+        assert!(lines[0].starts_with("{\"bank\":0,\"reads\":0"));
+        assert!(lines[1].starts_with("{\"bank\":1,\"reads\":1"));
+        assert!(lines[2].starts_with("{\"bank\":\"total\","));
+        assert!(doc.ends_with('\n'));
+        // Byte-identical across repeated exports of the same snapshot.
+        assert_eq!(doc, snap.to_jsonl());
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::block::BlockError;
 use crate::device::PcmDevice;
+use crate::trace_hooks;
 
 /// A periodic refresh controller over a device.
 ///
@@ -70,6 +71,13 @@ impl RefreshController {
     pub fn run_until(&mut self, device: &mut PcmDevice, t: f64) -> RefreshReport {
         let mut report = RefreshReport::default();
         let step = self.per_block_period(device);
+        // Per-bank (first launch, last launch, count) accumulators for
+        // the scrub-pass trace spans; empty when tracing is disabled.
+        let mut passes: Vec<Option<(u64, u64, u64)>> = if device.tracer().is_enabled() {
+            vec![None; device.banks()]
+        } else {
+            Vec::new()
+        };
         while self.tick as f64 * step <= t {
             let cursor = ((self.tick - 1) % device.blocks() as u64) as usize;
             match device.refresh_block(cursor) {
@@ -78,7 +86,19 @@ impl RefreshController {
                 | Err(BlockError::WearoutExhausted)
                 | Err(BlockError::WriteFailed) => report.failures += 1,
             }
+            if !passes.is_empty() {
+                trace_hooks::track_pass(&mut passes[device.bank_of(cursor)], self.tick);
+            }
             self.tick += 1;
+        }
+        for (bank, pass) in passes.iter().enumerate() {
+            trace_hooks::scrub_pass_event(
+                device.tracer(),
+                bank,
+                *pass,
+                step,
+                self.block_refresh_secs,
+            );
         }
         // Busy time as one product, not accumulated 1 µs at a time: the
         // result is then independent of how launches were grouped, so

@@ -13,6 +13,7 @@
 
 use crate::block::{BlockError, ReadReport, WriteReport};
 use crate::device::PcmDevice;
+use crate::trace_hooks;
 use std::collections::BTreeMap;
 
 /// A device with a reserve pool and transparent bad-block forwarding.
@@ -126,6 +127,14 @@ impl RemappedDevice {
                     let replacement = self.next_reserve;
                     self.next_reserve += 1;
                     self.forward.insert(pa, replacement);
+                    trace_hooks::remap_event(
+                        self.device.tracer(),
+                        self.device.bank_of(pa),
+                        pa,
+                        self.device.now(),
+                        replacement,
+                        self.forward.len() as u64,
+                    );
                     // Loop: retry the write on the replacement.
                 }
                 Err(e @ BlockError::Uncorrectable) => return Err(RemapError::Unrecoverable(e)),

@@ -39,6 +39,7 @@
 
 use crate::concurrent::ShardedPcmDevice;
 use crate::refresh::RefreshReport;
+use crate::trace_hooks;
 
 /// The integer-tick scrub schedule for a device geometry.
 ///
@@ -171,13 +172,23 @@ impl BankScrubCursor {
     /// The device clock must already be at (or past) `t`.
     pub fn run_until(&mut self, dev: &ShardedPcmDevice, t: f64) -> RefreshReport {
         let mut report = RefreshReport::default();
+        let mut pass: Option<(u64, u64, u64)> = None;
         while self.next_due() <= t {
+            let launch = self.next_tick();
             match dev.refresh_block(self.next_block()) {
                 Ok(()) => report.blocks_refreshed += 1,
                 Err(_) => report.failures += 1,
             }
+            trace_hooks::track_pass(&mut pass, launch);
             self.done += 1;
         }
+        trace_hooks::scrub_pass_event(
+            dev.tracer(),
+            self.bank,
+            pass,
+            self.sched.step_secs(),
+            self.sched.block_scrub_secs,
+        );
         // One product, not accumulation — see `RefreshController::run_until`.
         report.bank_busy_secs =
             (report.blocks_refreshed + report.failures) as f64 * self.sched.block_scrub_secs;
@@ -227,12 +238,31 @@ impl ShardedScrubber {
     /// on the same schedule.
     pub fn run_until(&mut self, dev: &ShardedPcmDevice, t: f64) -> RefreshReport {
         let mut report = RefreshReport::default();
+        // Per-bank pass accumulators (see `RefreshController::run_until`).
+        let mut passes: Vec<Option<(u64, u64, u64)>> = if dev.tracer().is_enabled() {
+            vec![None; self.sched.banks]
+        } else {
+            Vec::new()
+        };
         while self.sched.due_time(self.tick) <= t {
-            match dev.refresh_block(self.sched.block_of(self.tick)) {
+            let block = self.sched.block_of(self.tick);
+            match dev.refresh_block(block) {
                 Ok(()) => report.blocks_refreshed += 1,
                 Err(_) => report.failures += 1,
             }
+            if !passes.is_empty() {
+                trace_hooks::track_pass(&mut passes[block % self.sched.banks], self.tick);
+            }
             self.tick += 1;
+        }
+        for (bank, pass) in passes.iter().enumerate() {
+            trace_hooks::scrub_pass_event(
+                dev.tracer(),
+                bank,
+                *pass,
+                self.sched.step_secs(),
+                self.sched.block_scrub_secs,
+            );
         }
         report.bank_busy_secs =
             (report.blocks_refreshed + report.failures) as f64 * self.sched.block_scrub_secs;

@@ -1,0 +1,187 @@
+//! Shared trace-emission helpers for both device engines.
+//!
+//! The determinism oracle (`tests/trace_determinism.rs`) demands that
+//! the sequential and sharded engines emit *identical* per-bank event
+//! streams for the same per-bank operation order. The only way to keep
+//! that true as code evolves is to have exactly one function per
+//! touchpoint — both engines, the refresh controller, the sharded
+//! scrubber, and the per-bank scrub cursors all call these — so an
+//! emission change cannot land in one engine and not the other.
+//!
+//! Timestamps: an op's span begins at the device clock when the op is
+//! issued (`secs_to_ns(now)`) and ends after its modeled busy window
+//! (the same constants `metrics` charges). Scrub-pass spans run from
+//! the pass's first launch deadline to its last launch deadline plus
+//! one block-scrub cost, both derived from integer ticks.
+
+use crate::block::BlockError;
+use crate::error::PcmError;
+use crate::metrics;
+use pcm_trace::{secs_to_ns, OpKind, Recorder, NO_BLOCK};
+
+/// Stable failure-event payload codes (documented in DESIGN.md §12).
+pub(crate) fn block_error_code(e: &BlockError) -> u64 {
+    match e {
+        BlockError::Uncorrectable => 1,
+        BlockError::WearoutExhausted => 2,
+        BlockError::WriteFailed => 3,
+    }
+}
+
+/// [`block_error_code`] lifted over the sharded engine's error type.
+/// Only block datapath failures are traced; config/out-of-range errors
+/// never reach a bank (and record no metrics either).
+pub(crate) fn pcm_error_code(e: &PcmError) -> Option<u64> {
+    match e {
+        PcmError::Block(b) => Some(block_error_code(b)),
+        _ => None,
+    }
+}
+
+/// A completed (or failed) block write: `outcome` is
+/// `Ok((attempts, new_faults))` or `Err(code)`.
+pub(crate) fn write_event(
+    rec: &Recorder,
+    bank: usize,
+    block: usize,
+    now: f64,
+    cells: u64,
+    outcome: Result<(u64, u64), u64>,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let t = secs_to_ns(now);
+    match outcome {
+        Ok((attempts, new_faults)) => rec.span(
+            OpKind::Write,
+            bank as u32,
+            block as u32,
+            (t, t + metrics::write_busy_ns(attempts, cells)),
+            (attempts, new_faults),
+        ),
+        Err(code) => rec.instant(OpKind::Failure, bank as u32, block as u32, t, code),
+    }
+}
+
+/// A completed (or failed) block read: `outcome` is corrected symbols
+/// or an error code. Nonzero correction additionally emits an
+/// `ecc_decode` instant at the end of the read window.
+pub(crate) fn read_event(
+    rec: &Recorder,
+    bank: usize,
+    block: usize,
+    now: f64,
+    outcome: Result<u64, u64>,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let t = secs_to_ns(now);
+    match outcome {
+        Ok(corrected) => {
+            rec.span(
+                OpKind::Read,
+                bank as u32,
+                block as u32,
+                (t, t + metrics::READ_BUSY_NS),
+                (0, corrected),
+            );
+            if corrected > 0 {
+                rec.instant(
+                    OpKind::EccDecode,
+                    bank as u32,
+                    block as u32,
+                    t + metrics::READ_BUSY_NS,
+                    corrected,
+                );
+            }
+        }
+        Err(code) => rec.instant(OpKind::Failure, bank as u32, block as u32, t, code),
+    }
+}
+
+/// A completed (or failed) single-block refresh/scrub rewrite.
+pub(crate) fn refresh_event(
+    rec: &Recorder,
+    bank: usize,
+    block: usize,
+    now: f64,
+    outcome: Result<(), u64>,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let t = secs_to_ns(now);
+    match outcome {
+        Ok(()) => rec.span(
+            OpKind::Refresh,
+            bank as u32,
+            block as u32,
+            (t, t + metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS),
+            (0, 0),
+        ),
+        Err(code) => rec.instant(OpKind::Failure, bank as u32, block as u32, t, code),
+    }
+}
+
+/// A block retirement performed by `RemappedDevice`: an instant-width
+/// span pairing the failing physical block with its replacement
+/// (begin payload) and the cumulative retired count (end payload).
+pub(crate) fn remap_event(
+    rec: &Recorder,
+    bank: usize,
+    block: usize,
+    now: f64,
+    replacement: usize,
+    retired_total: u64,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let t = secs_to_ns(now);
+    rec.span(
+        OpKind::Remap,
+        bank as u32,
+        block as u32,
+        (t, t),
+        (replacement as u64, retired_total),
+    );
+}
+
+/// Fold one scrub launch tick into a bank's pass accumulator
+/// (`(first_tick, last_tick, launches)`).
+pub(crate) fn track_pass(slot: &mut Option<(u64, u64, u64)>, tick: u64) {
+    *slot = Some(match *slot {
+        None => (tick, tick, 1),
+        Some((first, _, n)) => (first, tick, n + 1),
+    });
+}
+
+/// Emit one bank's scrub-pass span after a scheduler walk: from the
+/// first launch deadline to the last launch deadline plus one
+/// block-scrub cost. Begin payload = first tick (a stable pass id),
+/// end payload = launches in the pass.
+pub(crate) fn scrub_pass_event(
+    rec: &Recorder,
+    bank: usize,
+    pass: Option<(u64, u64, u64)>,
+    step_secs: f64,
+    block_cost_secs: f64,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    if let Some((first, last, launches)) = pass {
+        rec.span(
+            OpKind::ScrubPass,
+            bank as u32,
+            NO_BLOCK,
+            (
+                secs_to_ns(first as f64 * step_secs),
+                secs_to_ns(last as f64 * step_secs + block_cost_secs),
+            ),
+            (first, launches),
+        );
+    }
+}

@@ -12,6 +12,7 @@
 use crate::config::{DesignPoint, EnergyModel, SimParams};
 use crate::workload::{TraceGenerator, WorkloadProfile};
 use pcm_device::DeviceMetrics;
+use pcm_trace::{round_ns, OpKind, Recorder, NO_BLOCK};
 use std::collections::VecDeque;
 
 /// Outcome of one simulation run.
@@ -83,8 +84,31 @@ pub fn simulate(
     instructions: u64,
     seed: u64,
 ) -> SimResult {
+    simulate_traced(
+        params,
+        energy,
+        design,
+        profile,
+        instructions,
+        seed,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`simulate`], recording every memory operation's timing window into
+/// `recorder` (bank-blocking refreshes as spans, REF-OPT refreshes as
+/// instants). With a disabled recorder this is exactly [`simulate`].
+pub fn simulate_traced(
+    params: &SimParams,
+    energy: &EnergyModel,
+    design: DesignPoint,
+    profile: WorkloadProfile,
+    instructions: u64,
+    seed: u64,
+    recorder: &Recorder,
+) -> SimResult {
     let trace = TraceGenerator::new(profile, params.blocks, seed);
-    simulate_ops(
+    simulate_ops_traced(
         params,
         energy,
         design,
@@ -92,6 +116,7 @@ pub fn simulate(
         profile.name,
         instructions,
         profile.mlp,
+        recorder,
     )
 }
 
@@ -106,6 +131,33 @@ pub fn simulate_ops(
     label: impl Into<String>,
     instructions: u64,
     mlp: usize,
+) -> SimResult {
+    simulate_ops_traced(
+        params,
+        energy,
+        design,
+        trace,
+        label,
+        instructions,
+        mlp,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`simulate_ops`] with tracing: every demand read/write and every
+/// refresh emits its modeled timing window into `recorder`, stamped in
+/// engine nanoseconds. End-of-run drain refreshes (counted only for
+/// energy accounting, with no timing model) are not traced.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_ops_traced(
+    params: &SimParams,
+    energy: &EnergyModel,
+    design: DesignPoint,
+    trace: impl IntoIterator<Item = crate::workload::MemOp>,
+    label: impl Into<String>,
+    instructions: u64,
+    mlp: usize,
+    recorder: &Recorder,
 ) -> SimResult {
     let mut trace = trace.into_iter();
     let token_period_ns = params.write_window_ns / params.writes_per_window as f64;
@@ -156,6 +208,25 @@ pub fn simulate_ops(
                 metrics
                     .bank(refresh_bank)
                     .record_scrub(params.block_refresh_ns as u64);
+                if recorder.is_enabled() {
+                    recorder.span(
+                        OpKind::Refresh,
+                        refresh_bank as u32,
+                        NO_BLOCK,
+                        (round_ns(start), round_ns(start + params.block_refresh_ns)),
+                        (0, 0),
+                    );
+                }
+            } else if recorder.is_enabled() {
+                // REF-OPT: the refresh consumes a write token but never
+                // occupies a bank — an instant, not a span.
+                recorder.instant(
+                    OpKind::Refresh,
+                    refresh_bank as u32,
+                    NO_BLOCK,
+                    round_ns(grant),
+                    0,
+                );
             }
             refresh_bank = (refresh_bank + 1) % params.banks;
             refreshes += 1;
@@ -183,6 +254,15 @@ pub fn simulate_ops(
             metrics
                 .bank(bank)
                 .record_write(0, params.write_latency_ns as u64);
+            if recorder.is_enabled() {
+                recorder.span(
+                    OpKind::Write,
+                    bank as u32,
+                    op.block as u32,
+                    (round_ns(start), round_ns(finish)),
+                    (0, 0),
+                );
+            }
             writes += 1;
             if write_queue.len() > params.write_queue_depth {
                 // pcm-lint: allow(no-panic-lib) — infallible: guarded by the queue-depth check above
@@ -201,6 +281,25 @@ pub fn simulate_ops(
             metrics
                 .bank(bank)
                 .record_read(0, params.read_latency_ns as u64);
+            if recorder.is_enabled() {
+                let array_done = start + params.read_latency_ns;
+                recorder.span(
+                    OpKind::Read,
+                    bank as u32,
+                    op.block as u32,
+                    (round_ns(start), round_ns(array_done)),
+                    (0, 0),
+                );
+                if ecc_ns > 0.0 {
+                    recorder.span(
+                        OpKind::EccDecode,
+                        bank as u32,
+                        op.block as u32,
+                        (round_ns(array_done), round_ns(finish)),
+                        (0, 0),
+                    );
+                }
+            }
             reads += 1;
             if outstanding_reads.len() > read_window {
                 // pcm-lint: allow(no-panic-lib) — infallible: guarded by the window-length check above

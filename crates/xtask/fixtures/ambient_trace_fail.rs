@@ -1,0 +1,22 @@
+//! Expected-fail fixture for `no-ambient-nondeterminism` in pcm-trace:
+//! trace timestamps must come from the device's model clock — a trace
+//! stamped from the host clock or configured from the environment can
+//! never be byte-identical across runs.
+
+pub fn wall_clock_stamp() -> u64 {
+    let t = std::time::Instant::now(); //~ no-ambient-nondeterminism
+    t.elapsed().as_nanos() as u64
+}
+
+pub struct HostStamped {
+    pub at: std::time::SystemTime, //~ no-ambient-nondeterminism
+}
+
+use std::env; //~ no-ambient-nondeterminism
+
+pub fn capacity_from_env() -> usize {
+    env::var("PCM_TRACE_CAP") //~ no-ambient-nondeterminism
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096)
+}

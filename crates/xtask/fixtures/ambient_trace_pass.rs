@@ -1,0 +1,19 @@
+//! Expected-pass fixture for `no-ambient-nondeterminism` in pcm-trace:
+//! timestamps derived from the device's model clock and capacities
+//! taken from explicit configuration, never the host environment.
+
+/// Model time is the only clock: seconds on the device clock in,
+/// nanoseconds in the trace out.
+pub fn model_stamp(now_secs: f64) -> u64 {
+    (now_secs * 1e9).round() as u64
+}
+
+/// Events carry the model timestamp they were computed from.
+pub struct ModelStamped {
+    pub t_ns: u64,
+}
+
+/// Ring capacity flows from an explicit `TraceConfig`-style parameter.
+pub fn capacity_from_config(events_per_bank: usize) -> usize {
+    events_per_bank.max(1)
+}

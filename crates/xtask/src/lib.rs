@@ -22,6 +22,7 @@
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod trace_report;
 
 use source::SourceFile;
 use std::fmt;

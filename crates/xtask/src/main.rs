@@ -1,12 +1,15 @@
-//! Workspace automation driver. Currently one subcommand:
+//! Workspace automation driver. Two subcommands:
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--json] [FILE…]
+//! cargo run -p xtask -- trace-report [--json] [--top N] <file.jsonl>
 //! ```
 //!
-//! With no files, lints every workspace crate's `src/`. Exits non-zero
-//! when any diagnostic is produced. `--json` prints a JSON array (for CI
-//! annotation tooling) instead of human-readable text.
+//! `lint` with no files lints every workspace crate's `src/` and exits
+//! non-zero when any diagnostic is produced. `trace-report` summarizes
+//! a `pcm-trace` JSONL file: per-bank op counts, span-duration
+//! histograms, scrub/demand interleaving, and the longest spans. For
+//! both, `--json` switches to machine-readable output.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -15,6 +18,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("trace-report") => trace_report(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`");
             usage();
@@ -29,6 +33,7 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!("usage: cargo run -p xtask -- lint [--json] [FILE…]");
+    eprintln!("       cargo run -p xtask -- trace-report [--json] [--top N] <file.jsonl>");
     eprintln!();
     eprintln!("rules:");
     for rule in xtask::rules::all() {
@@ -45,6 +50,48 @@ fn workspace_root() -> PathBuf {
         .nth(2)
         .expect("xtask sits two levels below the workspace root")
         .to_path_buf()
+}
+
+fn trace_report(args: &[String]) -> ExitCode {
+    let mut opts = xtask::trace_report::Options::default();
+    let mut file: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--top" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => opts.top = n,
+                _ => {
+                    eprintln!("trace-report: --top needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() => file = Some(other),
+            other => {
+                eprintln!("trace-report: unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("trace-report: no trace file given");
+        usage();
+        return ExitCode::from(2);
+    };
+    match xtask::trace_report::report_file(path, &opts) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn lint(args: &[String]) -> ExitCode {

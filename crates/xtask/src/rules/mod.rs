@@ -40,13 +40,14 @@ pub const LIB_CRATES: &[&str] = &[
     "pcm-core",
     "pcm-device",
     "pcm-sim",
+    "pcm-trace",
     "pcm-ecc",
     "pcm-codec",
     "pcm-wearout",
 ];
 
 /// The crates whose results must be a pure function of the seed.
-pub const DETERMINISM_CRATES: &[&str] = &["pcm-core", "pcm-device", "pcm-sim"];
+pub const DETERMINISM_CRATES: &[&str] = &["pcm-core", "pcm-device", "pcm-sim", "pcm-trace"];
 
 /// The crates that take bank locks.
 pub const LOCK_CRATES: &[&str] = &["pcm-device", "pcm-sim"];

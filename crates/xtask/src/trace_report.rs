@@ -1,0 +1,73 @@
+//! The `trace-report` subcommand: read a `pcm-trace` JSONL file and
+//! print the [`pcm_sim::trace_report`] summary.
+//!
+//! This module is a thin I/O wrapper — all analysis lives in
+//! `pcm_sim::trace_report` so library users and the `trace_explorer`
+//! example get exactly the same numbers as the CLI.
+
+/// Parsed `trace-report` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Emit the report as one JSON object instead of tables.
+    pub json: bool,
+    /// Rows in the longest-spans table.
+    pub top: usize,
+}
+
+/// Read `path` and render its report per `opts`. Errors are returned as
+/// display-ready strings so `main` stays a thin exit-code adapter.
+pub fn report_file(path: &str, opts: &Options) -> Result<String, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    report_str(&doc, opts).map_err(|e| format!("{path}: {e}"))
+}
+
+/// [`report_file`] over an in-memory document (testable without I/O).
+pub fn report_str(doc: &str, opts: &Options) -> Result<String, String> {
+    let top = if opts.top == 0 { 10 } else { opts.top };
+    let report = pcm_sim::trace_report::analyze_top(doc, top).map_err(|e| e.to_string())?;
+    Ok(if opts.json {
+        let mut s = report.to_json();
+        s.push('\n');
+        s
+    } else {
+        report.render_text()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> String {
+        use pcm_trace::{jsonl, OpKind, Recorder, TraceConfig};
+        let rec = Recorder::buffered(2, &TraceConfig::new(32));
+        rec.span(OpKind::Read, 0, 1, (100, 300), (0, 0));
+        rec.span(OpKind::Write, 1, 2, (500, 1500), (1, 0));
+        jsonl::export(&rec.buffer().expect("buffered").snapshot())
+    }
+
+    #[test]
+    fn text_report_renders_tables() {
+        let out = report_str(&sample_doc(), &Options::default()).unwrap();
+        assert!(out.contains("2 banks"), "{out}");
+        assert!(out.contains("longest spans"), "{out}");
+    }
+
+    #[test]
+    fn json_report_has_fixed_shape() {
+        let opts = Options { json: true, top: 5 };
+        let out = report_str(&sample_doc(), &opts).unwrap();
+        assert!(out.starts_with("{\"banks\":2,\"capacity\":32,"), "{out}");
+        assert!(out.contains("\"per_bank\":["), "{out}");
+        assert!(out.contains("\"top_spans\":["), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+        // Byte-stable across invocations.
+        assert_eq!(out, report_str(&sample_doc(), &opts).unwrap());
+    }
+
+    #[test]
+    fn bad_input_is_an_error_string() {
+        assert!(report_str("nope\n", &Options::default()).is_err());
+        assert!(report_file("/nonexistent/trace.jsonl", &Options::default()).is_err());
+    }
+}

@@ -10,6 +10,7 @@ const CASES: &[(&str, &str)] = &[
     ("no_panic_lib", "pcm-core"),
     ("float_tick", "pcm-device"),
     ("ambient", "pcm-sim"),
+    ("ambient_trace", "pcm-trace"),
     ("lock_discipline", "pcm-device"),
     ("deprecated_internal", "pcm-bench"),
 ];

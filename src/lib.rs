@@ -18,6 +18,7 @@
 //! | [`wearout`] | endurance/stuck-at faults, mark-and-spare, ECP, prefix-OR networks, capacity accounting |
 //! | [`device`] | cell arrays, full 3LC/4LC block datapaths, devices, refresh controller |
 //! | [`sim`] | trace-driven performance & energy simulation (Figure 16) |
+//! | [`trace`] | deterministic model-time event tracing (ring buffers, JSONL/Chrome exporters) |
 //!
 //! ## Quickstart
 //!
@@ -65,4 +66,5 @@ pub use pcm_core as core;
 pub use pcm_device as device;
 pub use pcm_ecc as ecc;
 pub use pcm_sim as sim;
+pub use pcm_trace as trace;
 pub use pcm_wearout as wearout;
