@@ -1,0 +1,195 @@
+//! `store_throughput` — the KV serving-layer benchmark and its
+//! determinism gate.
+//!
+//! Runs the fixed-seed zipfian workload against a freshly formatted
+//! `PcmStore` at each requested thread count, asserts the summed op
+//! totals are identical across thread counts (the pcm-store determinism
+//! contract), and writes `BENCH_store.json`: a shared `"ops"` object
+//! (byte-identical across runs and thread counts) plus one `"runs"`
+//! entry per thread count with model-time latency percentiles and
+//! throughput. The `"runs"` metrics may wobble at >1 threads — physical
+//! page placement follows allocation order, so wear-dependent write
+//! costs vary with scheduling — but `"ops"` never does; it is the
+//! determinism gate CI compares across back-to-back invocations.
+//!
+//! ```text
+//! store_throughput [--seed N] [--actors N] [--keys N] [--ops N]
+//!                  [--value-bytes N] [--mix a|b|c] [--theta F]
+//!                  [--threads 1,2,8] [--out BENCH_store.json]
+//! ```
+//!
+//! Exit status is nonzero if any run fails or if two thread counts
+//! disagree on totals, so CI can gate on it directly.
+
+use pcm_device::DeviceBuilder;
+use pcm_store::workload::{run, Mix, OpTotals, WorkloadConfig, WorkloadReport};
+use pcm_store::{PcmStore, StoreConfig};
+
+struct Args {
+    cfg: WorkloadConfig,
+    threads: Vec<usize>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut cfg = WorkloadConfig::default();
+    let mut threads = vec![1usize, 2, 8];
+    let mut out = String::from("BENCH_store.json");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| {
+                eprintln!("missing value for {}", argv[*i - 1]);
+                std::process::exit(2);
+            })
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seed" => cfg.seed = value(&mut i).parse().expect("--seed"),
+            "--actors" => cfg.actors = value(&mut i).parse().expect("--actors"),
+            "--keys" => cfg.keys_per_actor = value(&mut i).parse().expect("--keys"),
+            "--ops" => cfg.ops_per_actor = value(&mut i).parse().expect("--ops"),
+            "--value-bytes" => cfg.value_bytes = value(&mut i).parse().expect("--value-bytes"),
+            "--theta" => cfg.zipf_theta = value(&mut i).parse().expect("--theta"),
+            "--mix" => {
+                let name = value(&mut i);
+                cfg.mix = Mix::preset(&name).unwrap_or_else(|| {
+                    eprintln!("unknown mix '{name}' (want a, b, or c)");
+                    std::process::exit(2);
+                });
+            }
+            "--threads" => {
+                threads = value(&mut i)
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads"))
+                    .collect();
+            }
+            "--out" => out = value(&mut i),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    Args { cfg, threads, out }
+}
+
+fn fresh_store(cfg: &WorkloadConfig) -> PcmStore {
+    let store_cfg = StoreConfig {
+        dir_buckets: 64,
+        stripes: 16,
+    };
+    let banks = 8;
+    let blocks = cfg.required_blocks(&store_cfg).div_ceil(banks) * banks;
+    let dev = DeviceBuilder::new()
+        .blocks(blocks)
+        .banks(banks)
+        .seed(cfg.seed)
+        .build_sharded()
+        .expect("device build");
+    PcmStore::format(dev, store_cfg).expect("store format")
+}
+
+fn ops_json(t: &OpTotals) -> String {
+    format!(
+        "{{\"preload_puts\":{},\"gets\":{},\"puts\":{},\"deletes\":{},\
+         \"hits\":{},\"misses\":{},\"mismatches\":{},\"measured_ops\":{}}}",
+        t.preload_puts,
+        t.gets,
+        t.puts,
+        t.deletes,
+        t.hits,
+        t.misses,
+        t.mismatches,
+        t.measured_ops()
+    )
+}
+
+fn run_json(r: &WorkloadReport) -> String {
+    format!(
+        "{{\"threads\":{},\"busy_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\
+         \"p99_ns\":{},\"kops_per_model_sec\":{:.3}}}",
+        r.threads, r.busy_ns, r.p50_ns, r.p95_ns, r.p99_ns, r.kops_per_model_sec
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = &args.cfg;
+    println!(
+        "store_throughput: seed {} | {} actors x {} keys x {} ops | {}B values | {}% reads | theta {}",
+        cfg.seed,
+        cfg.actors,
+        cfg.keys_per_actor,
+        cfg.ops_per_actor,
+        cfg.value_bytes,
+        cfg.mix.read_pct,
+        cfg.zipf_theta
+    );
+
+    let mut reports = Vec::new();
+    for &threads in &args.threads {
+        let store = fresh_store(cfg);
+        let report = run(&store, cfg, threads).unwrap_or_else(|e| {
+            eprintln!("workload failed at {threads} threads: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "  {:>2} threads: {} ops | busy {} ms | p50/p95/p99 {}/{}/{} ns | {:.1} kops/model-s",
+            threads,
+            report.totals.measured_ops(),
+            report.busy_ns / 1_000_000,
+            report.p50_ns,
+            report.p95_ns,
+            report.p99_ns,
+            report.kops_per_model_sec
+        );
+        reports.push(report);
+    }
+
+    let baseline = reports[0].totals;
+    for r in &reports[1..] {
+        if r.totals != baseline {
+            eprintln!(
+                "DETERMINISM VIOLATION: totals at {} threads differ from {} threads",
+                r.threads, reports[0].threads
+            );
+            std::process::exit(1);
+        }
+    }
+    if baseline.mismatches != 0 {
+        eprintln!(
+            "INTEGRITY VIOLATION: {} read mismatches",
+            baseline.mismatches
+        );
+        std::process::exit(1);
+    }
+
+    let runs: Vec<String> = reports.iter().map(run_json).collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"store_throughput\",\n  \"config\": {{\"seed\":{},\"actors\":{},\
+         \"keys_per_actor\":{},\"ops_per_actor\":{},\"value_bytes\":{},\"read_pct\":{},\
+         \"zipf_theta\":{}}},\n  \"ops\": {},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+        cfg.seed,
+        cfg.actors,
+        cfg.keys_per_actor,
+        cfg.ops_per_actor,
+        cfg.value_bytes,
+        cfg.mix.read_pct,
+        cfg.zipf_theta,
+        ops_json(&baseline),
+        runs.join(",\n    ")
+    );
+    std::fs::write(&args.out, &doc).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {} (totals identical across {:?} threads)",
+        args.out, args.threads
+    );
+}

@@ -1,5 +1,5 @@
-//! Device construction: a named-setter builder replacing the positional
-//! `PcmDevice::new(org, blocks, banks, seed)` constructors.
+//! Device construction: the named-setter builder is the only way to
+//! construct either engine (the positional constructors were removed).
 //!
 //! ```
 //! use pcm_device::{CellOrganization, PcmDevice};
@@ -278,26 +278,17 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_legacy_constructor() {
+    fn same_config_builds_identical_devices() {
         use pcm_core::level::LevelDesign;
-        let mut a = DeviceBuilder::new()
+        let config = DeviceBuilder::new()
             .organization(CellOrganization::ThreeLevel(
                 LevelDesign::three_level_naive(),
             ))
             .blocks(8)
             .banks(2)
-            .seed(33)
-            .build()
-            .unwrap();
-        // The legacy positional path, reached through the non-deprecated
-        // shared body so only the shims carry `#[deprecated]`.
-        let mut b = PcmDevice::from_legacy_args(
-            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-            8,
-            2,
-            33,
-            EnduranceModel::mlc(),
-        );
+            .seed(33);
+        let mut a = config.clone().build().unwrap();
+        let mut b = config.endurance(EnduranceModel::mlc()).build().unwrap();
         let data = vec![0xC3u8; 64];
         let ra = a.write_block(5, &data).unwrap();
         let rb = b.write_block(5, &data).unwrap();

@@ -22,7 +22,6 @@ use crate::trace_hooks;
 use pcm_codec::enumerative::EnumerativeCode;
 use pcm_core::level::LevelDesign;
 use pcm_trace::Recorder;
-use pcm_wearout::fault::EnduranceModel;
 use std::sync::Arc;
 
 /// Which block organization a device uses.
@@ -118,50 +117,6 @@ impl PcmDevice {
     /// Start configuring a device.
     pub fn builder() -> DeviceBuilder {
         DeviceBuilder::new()
-    }
-
-    /// Build a device with `blocks` 64-byte blocks across `banks` banks
-    /// and the standard MLC endurance model.
-    ///
-    /// Panics on invalid geometry — prefer [`PcmDevice::builder`], which
-    /// reports [`crate::ConfigError`] instead.
-    #[deprecated(since = "0.2.0", note = "use PcmDevice::builder()")]
-    pub fn new(org: CellOrganization, blocks: usize, banks: usize, seed: u64) -> Self {
-        Self::from_legacy_args(org, blocks, banks, seed, EnduranceModel::mlc())
-    }
-
-    /// Like `new` with an explicit endurance model (accelerated-wear
-    /// studies, SLC-mode devices).
-    ///
-    /// Panics on invalid geometry — prefer [`PcmDevice::builder`], which
-    /// reports [`crate::ConfigError`] instead.
-    #[deprecated(since = "0.2.0", note = "use PcmDevice::builder().endurance(..)")]
-    pub fn with_endurance(
-        org: CellOrganization,
-        blocks: usize,
-        banks: usize,
-        seed: u64,
-        endurance: EnduranceModel,
-    ) -> Self {
-        Self::from_legacy_args(org, blocks, banks, seed, endurance)
-    }
-
-    pub(crate) fn from_legacy_args(
-        org: CellOrganization,
-        blocks: usize,
-        banks: usize,
-        seed: u64,
-        endurance: EnduranceModel,
-    ) -> Self {
-        DeviceBuilder::new()
-            .organization(org)
-            .blocks(blocks)
-            .banks(banks)
-            .seed(seed)
-            .endurance(endurance)
-            .build()
-            // pcm-lint: allow(no-panic-lib) — legacy shim: the deprecated positional constructors documented panicking on bad geometry; builder callers get ConfigError
-            .unwrap_or_else(|e| panic!("invalid device geometry: {e}"))
     }
 
     pub(crate) fn from_banks(
@@ -351,6 +306,7 @@ impl PcmDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcm_wearout::fault::EnduranceModel;
 
     fn three_level_device(blocks: usize) -> PcmDevice {
         PcmDevice::builder()
@@ -513,16 +469,19 @@ mod tests {
     }
 
     #[test]
-    fn legacy_constructor_path_still_works() {
-        // Exercises the shared body of the deprecated positional
-        // constructors without calling the deprecated shims themselves.
-        let mut dev = PcmDevice::from_legacy_args(
-            CellOrganization::ThreeLevel(LevelDesign::three_level_naive()),
-            8,
-            4,
-            77,
-            EnduranceModel::mlc(),
-        );
+    fn builder_with_explicit_endurance_round_trips() {
+        // The builder is the only construction path; an explicit
+        // endurance model composes with the rest of the configuration.
+        let mut dev = PcmDevice::builder()
+            .organization(CellOrganization::ThreeLevel(
+                LevelDesign::three_level_naive(),
+            ))
+            .blocks(8)
+            .banks(4)
+            .seed(77)
+            .endurance(EnduranceModel::mlc())
+            .build()
+            .unwrap();
         let data = vec![0x11u8; 64];
         dev.write_block(0, &data).unwrap();
         assert_eq!(dev.read_block(0).unwrap().data, data);

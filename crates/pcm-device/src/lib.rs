@@ -73,7 +73,7 @@ pub use block::{BlockError, FourLevelBlock, ReadReport, ThreeLevelBlock, WriteRe
 pub use builder::{ConfigError, DeviceBuilder};
 pub use concurrent::{Session, SessionStats, ShardedPcmDevice};
 pub use device::{CellOrganization, DeviceStats, PcmDevice};
-pub use error::PcmError;
+pub use error::{Error, PcmError};
 pub use generic_block::GenericBlock;
 pub use metrics::{BankMetrics, BankMetricsSnapshot, DeviceMetrics, LogHistogram, MetricsSnapshot};
 pub use refresh::{RefreshController, RefreshReport};
@@ -81,5 +81,5 @@ pub use remap::RemappedDevice;
 pub use scrub::{BankScrubCursor, ScrubScheduler, ShardedScrubber};
 // The tracing vocabulary, re-exported so device users need not depend
 // on pcm-trace directly.
-pub use pcm_trace::{Recorder, TraceConfig};
+pub use pcm_trace::{Recorder, TraceConfig, TraceDecodeError};
 pub use wear_level::{GapMove, StartGap, WearLeveledDevice};

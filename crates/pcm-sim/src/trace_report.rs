@@ -276,35 +276,33 @@ impl TraceReport {
              {} banks, ring capacity {}/bank\n",
             self.total_events, self.total_recorded, self.total_dropped, self.banks, self.capacity
         ));
+        // One column per OpKind, sized to the kind name, so new trace
+        // vocabulary (e.g. the kv_* store ops) shows up without touching
+        // this table.
+        out.push_str(&format!("{:>4}", "bank"));
+        for kind in OpKind::ALL {
+            out.push_str(&format!(
+                " {:>w$}",
+                kind.name(),
+                w = kind.name().len().max(6)
+            ));
+        }
         out.push_str(&format!(
-            "{:>4} {:>7} {:>7} {:>8} {:>10} {:>6} {:>10} {:>8} {:>8} {:>12} {:>16}\n",
-            "bank",
-            "read",
-            "write",
-            "refresh",
-            "scrub_pass",
-            "remap",
-            "ecc_decode",
-            "failure",
-            "dropped",
-            "transitions",
-            "refresh_overlaps"
+            " {:>8} {:>12} {:>16}\n",
+            "dropped", "transitions", "refresh_overlaps"
         ));
         for b in &self.per_bank {
-            let c = |k: OpKind| b.counts[kind_index(k)];
+            out.push_str(&format!("{:>4}", b.bank));
+            for kind in OpKind::ALL {
+                out.push_str(&format!(
+                    " {:>w$}",
+                    b.counts[kind_index(kind)],
+                    w = kind.name().len().max(6)
+                ));
+            }
             out.push_str(&format!(
-                "{:>4} {:>7} {:>7} {:>8} {:>10} {:>6} {:>10} {:>8} {:>8} {:>12} {:>16}\n",
-                b.bank,
-                c(OpKind::Read),
-                c(OpKind::Write),
-                c(OpKind::Refresh),
-                c(OpKind::ScrubPass),
-                c(OpKind::Remap),
-                c(OpKind::EccDecode),
-                c(OpKind::Failure),
-                b.dropped,
-                b.transitions,
-                b.refresh_overlaps
+                " {:>8} {:>12} {:>16}\n",
+                b.dropped, b.transitions, b.refresh_overlaps
             ));
         }
         out.push_str("span durations (ns):\n");

@@ -1,0 +1,270 @@
+//! Page allocation: an on-device free list rooted in the superblock.
+//!
+//! Free pages form a singly linked list threaded through their `next`
+//! fields; the head and count live in the superblock (page 0), which is
+//! rewritten on every allocate/free (write-through, like the BlockFile
+//! exemplar's header). A `Mutex` over the in-memory superblock mirror
+//! makes pop/push atomic across threads: two concurrent allocations can
+//! never observe the same head, so a page is handed out at most once —
+//! the property `tests/store_crash.rs` hammers at 1/2/8 sessions.
+//!
+//! Lock order: callers may hold a directory stripe lock when calling in
+//! here; the allocator lock nests inside stripes and outside bank locks
+//! (taken by the device calls below). Nothing ever acquires a stripe
+//! while holding the allocator lock, so the order is acyclic.
+
+use crate::error::{read_failure, StoreError};
+use crate::page::{Page, PageDefect, PageType, NO_PAGE};
+use pcm_device::ShardedPcmDevice;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Magic ("PCMSTOR1", little-endian) identifying a formatted device.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"PCMSTOR1");
+/// On-device format version.
+pub const VERSION: u32 = 1;
+
+/// The superblock contents (page 0 payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Total pages (= device blocks).
+    pub pages: u32,
+    /// Hash-directory bucket count (bucket `b` lives at page `1 + b`).
+    pub dir_buckets: u32,
+    /// Head of the free list ([`NO_PAGE`] when full).
+    pub free_head: u32,
+    /// Free pages on the list.
+    pub free_count: u32,
+}
+
+impl Superblock {
+    /// Serialize into a page image.
+    pub fn to_page(self) -> Page {
+        let mut p = Page::empty(PageType::Super);
+        p.payload[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        p.payload[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        p.payload[12..16].copy_from_slice(&self.pages.to_le_bytes());
+        p.payload[16..20].copy_from_slice(&self.dir_buckets.to_le_bytes());
+        p.payload[20..24].copy_from_slice(&self.free_head.to_le_bytes());
+        p.payload[24..28].copy_from_slice(&self.free_count.to_le_bytes());
+        p.len = 28;
+        p
+    }
+
+    /// Parse from a decoded page (which must be [`PageType::Super`]).
+    pub fn from_page(p: &Page) -> Result<Superblock, StoreError> {
+        let corrupt = |defect| StoreError::CorruptPage { page: 0, defect };
+        if p.page_type != PageType::Super || p.len != 28 {
+            return Err(corrupt(PageDefect::WrongPage));
+        }
+        let word = |at: usize| {
+            u32::from_le_bytes([
+                p.payload[at],
+                p.payload[at + 1],
+                p.payload[at + 2],
+                p.payload[at + 3],
+            ])
+        };
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&p.payload[0..8]);
+        if u64::from_le_bytes(magic) != MAGIC {
+            return Err(corrupt(PageDefect::WrongPage));
+        }
+        let version = word(8);
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        Ok(Superblock {
+            pages: word(12),
+            dir_buckets: word(16),
+            free_head: word(20),
+            free_count: word(24),
+        })
+    }
+}
+
+/// The page allocator: a mutex-guarded mirror of the superblock, written
+/// through to page 0 on every mutation.
+#[derive(Debug)]
+pub struct Allocator {
+    state: Mutex<Superblock>,
+}
+
+impl Allocator {
+    /// Wrap an already-valid superblock (from `format` or `open`).
+    pub fn new(sb: Superblock) -> Allocator {
+        Allocator {
+            state: Mutex::new(sb),
+        }
+    }
+
+    /// The single allocator-lock acquisition site. Poisoning is
+    /// recovered by taking the inner state: every mutation commits to
+    /// memory only after its superblock write succeeded, so the state a
+    /// panicking thread left behind is the last committed one.
+    fn lock_state(&self) -> MutexGuard<'_, Superblock> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Current superblock mirror.
+    pub fn superblock(&self) -> Superblock {
+        *self.lock_state()
+    }
+
+    /// Free pages currently on the list.
+    pub fn free_pages(&self) -> u32 {
+        self.lock_state().free_count
+    }
+
+    /// Pop one page off the free list.
+    pub fn allocate(&self, dev: &ShardedPcmDevice) -> Result<u32, StoreError> {
+        let mut st = self.lock_state();
+        let page = pop_free(dev, &mut st)?;
+        write_super(dev, *st)?;
+        Ok(page)
+    }
+
+    /// Pop `n` pages in one critical section. On exhaustion the pages
+    /// already popped are pushed back and `StoreFull` is returned, so a
+    /// failed allocation leaks nothing.
+    pub fn allocate_chain(&self, dev: &ShardedPcmDevice, n: usize) -> Result<Vec<u32>, StoreError> {
+        let mut st = self.lock_state();
+        if (st.free_count as usize) < n {
+            return Err(StoreError::StoreFull);
+        }
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            match pop_free(dev, &mut st) {
+                Ok(p) => pages.push(p),
+                Err(e) => {
+                    for &p in pages.iter().rev() {
+                        push_free(dev, &mut st, p)?;
+                    }
+                    write_super(dev, *st)?;
+                    return Err(e);
+                }
+            }
+        }
+        write_super(dev, *st)?;
+        Ok(pages)
+    }
+
+    /// Push a page back onto the free list.
+    pub fn free(&self, dev: &ShardedPcmDevice, page: u32) -> Result<(), StoreError> {
+        let mut st = self.lock_state();
+        push_free(dev, &mut st, page)?;
+        write_super(dev, *st)?;
+        Ok(())
+    }
+
+    /// Push a whole chain of pages back in one critical section.
+    pub fn free_chain(&self, dev: &ShardedPcmDevice, pages: &[u32]) -> Result<(), StoreError> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.lock_state();
+        for &p in pages {
+            push_free(dev, &mut st, p)?;
+        }
+        write_super(dev, *st)?;
+        Ok(())
+    }
+}
+
+/// Pop the head free page, following its on-device `next` link.
+fn pop_free(dev: &ShardedPcmDevice, st: &mut Superblock) -> Result<u32, StoreError> {
+    let head = st.free_head;
+    if head == NO_PAGE || st.free_count == 0 {
+        return Err(StoreError::StoreFull);
+    }
+    let report = dev
+        .read_block(head as usize)
+        .map_err(|e| read_failure(head, e))?;
+    let node = Page::decode(&report.data)
+        .map_err(|defect| StoreError::CorruptPage { page: head, defect })?;
+    if node.page_type != PageType::Free {
+        return Err(StoreError::CorruptPage {
+            page: head,
+            defect: PageDefect::WrongPage,
+        });
+    }
+    st.free_head = node.next;
+    st.free_count -= 1;
+    Ok(head)
+}
+
+/// Write `page` as a free-list node pointing at the current head, then
+/// advance the head.
+fn push_free(dev: &ShardedPcmDevice, st: &mut Superblock, page: u32) -> Result<(), StoreError> {
+    let mut node = Page::empty(PageType::Free);
+    node.next = st.free_head;
+    dev.write_block(page as usize, &node.encode())
+        .map_err(StoreError::from)?;
+    st.free_head = page;
+    st.free_count += 1;
+    Ok(())
+}
+
+/// Write-through: seal the superblock mirror onto page 0.
+fn write_super(dev: &ShardedPcmDevice, sb: Superblock) -> Result<(), StoreError> {
+    dev.write_block(0, &sb.to_page().encode())
+        .map_err(StoreError::from)?;
+    Ok(())
+}
+
+/// Chain pages `first..pages` into a fresh free list on the device and
+/// return the matching superblock fields (used by `format`).
+pub(crate) fn format_free_list(
+    dev: &ShardedPcmDevice,
+    first: u32,
+    pages: u32,
+) -> Result<(u32, u32), StoreError> {
+    for i in first..pages {
+        let mut node = Page::empty(PageType::Free);
+        node.next = if i + 1 < pages { i + 1 } else { NO_PAGE };
+        dev.write_block(i as usize, &node.encode())
+            .map_err(StoreError::from)?;
+    }
+    let head = if first < pages { first } else { NO_PAGE };
+    Ok((head, pages.saturating_sub(first)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_round_trips() {
+        let sb = Superblock {
+            pages: 128,
+            dir_buckets: 16,
+            free_head: 17,
+            free_count: 110,
+        };
+        let page = sb.to_page();
+        let decoded = Page::decode(&page.encode()).unwrap();
+        assert_eq!(Superblock::from_page(&decoded), Ok(sb));
+    }
+
+    #[test]
+    fn superblock_rejects_bad_magic_and_version() {
+        let sb = Superblock {
+            pages: 8,
+            dir_buckets: 2,
+            free_head: NO_PAGE,
+            free_count: 0,
+        };
+        let mut page = sb.to_page();
+        page.payload[0] ^= 0xFF;
+        assert!(matches!(
+            Superblock::from_page(&page),
+            Err(StoreError::CorruptPage { page: 0, .. })
+        ));
+
+        let mut page = sb.to_page();
+        page.payload[8] = 99;
+        assert_eq!(
+            Superblock::from_page(&page),
+            Err(StoreError::BadVersion(99))
+        );
+    }
+}

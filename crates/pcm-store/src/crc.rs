@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3, reflected) with a compile-time table.
+//!
+//! The hermetic build cannot pull a crc crate, and the page layer needs
+//! only the one classic polynomial: every page stores `crc32` of its
+//! bytes 4..64 in its first four bytes, so a drifted cell that slips
+//! past the block layer's ECC (a miscorrection beyond the BCH strength)
+//! is still caught before the store returns wrong bytes.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `data` (init `!0`, final xor `!0` — the zlib convention).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(&[0xA5; 60]);
+        for byte in 0..60 {
+            for bit in 0..8 {
+                let mut flipped = [0xA5u8; 60];
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}.{bit}");
+            }
+        }
+    }
+}

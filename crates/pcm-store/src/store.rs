@@ -1,0 +1,603 @@
+//! The KV store proper: get/put/delete over CRC-checked page chains.
+//!
+//! Layout (page = device block):
+//!
+//! * page 0 — superblock (see [`crate::alloc::Superblock`]);
+//! * pages `1 ..= dir_buckets` — fixed hash-directory bucket pages;
+//! * everything else — free-list / data / overflow-index pages,
+//!   explicitly allocated ([`crate::alloc::Allocator`]); a write never
+//!   implicitly allocates.
+//!
+//! Values span `ceil(len / 44)` data pages chained via `next`; the head
+//! page carries [`FLAG_CHAIN_HEAD`]. Every page read is CRC-verified
+//! before any field is trusted, so the store returns the written value
+//! or a typed [`StoreError::CorruptPage`] — never silently wrong bytes.
+//!
+//! ## Concurrency
+//!
+//! A directory op locks exactly one bucket **stripe** (bucket id modulo
+//! the stripe count); the allocator lock nests inside a stripe, and the
+//! device's bank locks nest innermost. No path acquires a second stripe
+//! or a stripe from inside the allocator, so the lock order is acyclic.
+//! Within a stripe, ops on its buckets serialize; ops on different
+//! stripes proceed concurrently bank-contention permitting.
+
+use crate::alloc::{format_free_list, Allocator, Superblock};
+use crate::directory::{bucket_of, bucket_page, entries, mix64, set_entries, ENTRIES_PER_PAGE};
+use crate::error::{read_failure, StoreError};
+use crate::page::{Page, PageDefect, PageType, FLAG_CHAIN_HEAD, NO_PAGE, PAGE_PAYLOAD_BYTES};
+use pcm_device::metrics::{READ_BUSY_NS, WRITE_BUSY_NS};
+use pcm_device::ShardedPcmDevice;
+use pcm_trace::{secs_to_ns, OpKind};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Longest supported value chain, pages.
+pub const MAX_CHAIN_PAGES: usize = 64;
+/// Longest supported value, bytes.
+pub const MAX_VALUE_BYTES: usize = MAX_CHAIN_PAGES * PAGE_PAYLOAD_BYTES;
+
+/// Data pages a value of `len` bytes occupies (an empty value still
+/// owns its head page).
+pub fn pages_for_value(len: usize) -> usize {
+    len.div_ceil(PAGE_PAYLOAD_BYTES).max(1)
+}
+
+/// Store geometry knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Hash-directory buckets (fixed pages `1 ..= dir_buckets`).
+    pub dir_buckets: u32,
+    /// Bucket-stripe locks (concurrency width of the directory).
+    pub stripes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            dir_buckets: 64,
+            stripes: 16,
+        }
+    }
+}
+
+/// Device reads/writes one KV op issued (drives span durations and the
+/// "pages touched" trace payload).
+#[derive(Debug, Clone, Copy, Default)]
+struct OpCost {
+    reads: u64,
+    writes: u64,
+}
+
+impl OpCost {
+    fn touched(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Modeled duration: nominal busy time of the device ops issued.
+    fn model_ns(&self) -> u64 {
+        self.reads * READ_BUSY_NS + self.writes * WRITE_BUSY_NS
+    }
+}
+
+/// Where a directory lookup landed.
+enum Slot {
+    /// `entries[pos]` of index page `page_id` holds the key.
+    Found {
+        page_id: u32,
+        page: Page,
+        list: Vec<(u64, u32)>,
+        pos: usize,
+    },
+    /// Key absent; `page_id` is the bucket chain's tail (insert here).
+    Absent {
+        page_id: u32,
+        page: Page,
+        list: Vec<(u64, u32)>,
+    },
+}
+
+/// A key-value store on a sharded PCM device.
+pub struct PcmStore {
+    dev: ShardedPcmDevice,
+    alloc: Allocator,
+    dir_buckets: u32,
+    stripes: Vec<Mutex<()>>,
+}
+
+impl PcmStore {
+    /// Format `dev` with a fresh, empty store and open it.
+    pub fn format(dev: ShardedPcmDevice, config: StoreConfig) -> Result<PcmStore, StoreError> {
+        let blocks = dev.blocks();
+        if blocks >= NO_PAGE as usize {
+            return Err(StoreError::TooSmall {
+                needed: NO_PAGE as usize - 1,
+                have: blocks,
+            });
+        }
+        let pages = blocks as u32;
+        let dir_buckets = config.dir_buckets.max(1);
+        let needed = 1 + dir_buckets as usize + 1;
+        if blocks < needed {
+            return Err(StoreError::TooSmall {
+                needed,
+                have: blocks,
+            });
+        }
+        for b in 0..dir_buckets {
+            let p = Page::empty(PageType::Index);
+            dev.write_block(bucket_page(b) as usize, &p.encode())
+                .map_err(StoreError::from)?;
+        }
+        let first_free = 1 + dir_buckets;
+        let (free_head, free_count) = format_free_list(&dev, first_free, pages)?;
+        let sb = Superblock {
+            pages,
+            dir_buckets,
+            free_head,
+            free_count,
+        };
+        dev.write_block(0, &sb.to_page().encode())
+            .map_err(StoreError::from)?;
+        Ok(Self::assemble(dev, sb, config.stripes))
+    }
+
+    /// Open an already-formatted device, validating the superblock.
+    pub fn open(dev: ShardedPcmDevice) -> Result<PcmStore, StoreError> {
+        Self::open_with(dev, StoreConfig::default().stripes)
+    }
+
+    /// [`PcmStore::open`] with an explicit stripe count.
+    pub fn open_with(dev: ShardedPcmDevice, stripes: usize) -> Result<PcmStore, StoreError> {
+        let report = dev.read_block(0).map_err(|e| read_failure(0, e))?;
+        let page = Page::decode(&report.data)
+            .map_err(|defect| StoreError::CorruptPage { page: 0, defect })?;
+        let sb = Superblock::from_page(&page)?;
+        if sb.pages as usize != dev.blocks() {
+            return Err(StoreError::TooSmall {
+                needed: sb.pages as usize,
+                have: dev.blocks(),
+            });
+        }
+        Ok(Self::assemble(dev, sb, stripes))
+    }
+
+    fn assemble(dev: ShardedPcmDevice, sb: Superblock, stripes: usize) -> PcmStore {
+        let stripe_count = stripes.max(1).min(sb.dir_buckets as usize);
+        PcmStore {
+            dev,
+            alloc: Allocator::new(sb),
+            dir_buckets: sb.dir_buckets,
+            stripes: (0..stripe_count).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// The device underneath (metrics, tracer, clock).
+    pub fn device(&self) -> &ShardedPcmDevice {
+        &self.dev
+    }
+
+    /// Tear down into the device (e.g. to reopen later).
+    pub fn into_device(self) -> ShardedPcmDevice {
+        self.dev
+    }
+
+    /// Free pages available for new values.
+    pub fn free_pages(&self) -> u32 {
+        self.alloc.free_pages()
+    }
+
+    /// The current superblock mirror (free-list head, counts, shape).
+    pub fn superblock(&self) -> Superblock {
+        self.alloc.superblock()
+    }
+
+    /// Directory bucket count.
+    pub fn dir_buckets(&self) -> u32 {
+        self.dir_buckets
+    }
+
+    /// The one stripe-lock acquisition site. Poisoning is recovered by
+    /// entering anyway: stripe state is the *device* pages, and every
+    /// multi-page update is written in an order that leaves the page
+    /// graph consistent (new pages before links, links before frees).
+    fn lock_stripe(&self, bucket: u32) -> MutexGuard<'_, ()> {
+        let idx = bucket as usize % self.stripes.len().max(1);
+        self.stripes[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up `key`. Returns the stored value, `None` on a miss, or
+    /// [`StoreError::CorruptPage`] — never wrong bytes.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let bucket = bucket_of(key, self.dir_buckets);
+        let guard = self.lock_stripe(bucket);
+        let mut cost = OpCost::default();
+        let result = match self.find_slot(key, bucket, &mut cost)? {
+            Slot::Found { list, pos, .. } => {
+                let head = list[pos].1;
+                let (_, value) = self.walk_chain(key, head, &mut cost)?;
+                Some(value)
+            }
+            Slot::Absent { .. } => None,
+        };
+        drop(guard);
+        self.emit(OpKind::KvGet, key, bucket, &cost);
+        Ok(result)
+    }
+
+    /// Insert or replace `key`. Allocation is explicit: the new chain is
+    /// allocated and fully written before the directory flips to it, and
+    /// the old chain (if any) is freed last.
+    pub fn put(&self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        if value.len() > MAX_VALUE_BYTES {
+            return Err(StoreError::ValueTooLarge {
+                len: value.len(),
+                max: MAX_VALUE_BYTES,
+            });
+        }
+        let bucket = bucket_of(key, self.dir_buckets);
+        let guard = self.lock_stripe(bucket);
+        let mut cost = OpCost::default();
+        let slot = self.find_slot(key, bucket, &mut cost)?;
+        // Read the old chain up front: if it is corrupt the put aborts
+        // before mutating anything, and the key keeps reporting corrupt.
+        let old_pages = match &slot {
+            Slot::Found { list, pos, .. } => {
+                let (pages, _) = self.walk_chain(key, list[*pos].1, &mut cost)?;
+                pages
+            }
+            Slot::Absent { .. } => Vec::new(),
+        };
+        let chain = self
+            .alloc
+            .allocate_chain(&self.dev, pages_for_value(value.len()))?;
+        self.write_chain(key, value, &chain, &mut cost)?;
+        let new_head = chain[0];
+        match slot {
+            Slot::Found {
+                page_id,
+                mut page,
+                mut list,
+                pos,
+            } => {
+                list[pos].1 = new_head;
+                set_entries(&mut page, &list);
+                self.write_page(page_id, &page, &mut cost)?;
+            }
+            Slot::Absent {
+                page_id,
+                mut page,
+                mut list,
+            } => {
+                if list.len() < ENTRIES_PER_PAGE {
+                    list.push((key, new_head));
+                    set_entries(&mut page, &list);
+                    self.write_page(page_id, &page, &mut cost)?;
+                } else {
+                    // Chain a fresh overflow index page off the tail. If
+                    // allocation fails, return the value chain too so a
+                    // full store leaks nothing.
+                    let overflow = match self.alloc.allocate(&self.dev) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            self.alloc.free_chain(&self.dev, &chain)?;
+                            return Err(e);
+                        }
+                    };
+                    let mut fresh = Page::empty(PageType::Index);
+                    set_entries(&mut fresh, &[(key, new_head)]);
+                    self.write_page(overflow, &fresh, &mut cost)?;
+                    page.next = overflow;
+                    set_entries(&mut page, &list);
+                    self.write_page(page_id, &page, &mut cost)?;
+                }
+            }
+        }
+        self.alloc.free_chain(&self.dev, &old_pages)?;
+        drop(guard);
+        self.emit(OpKind::KvPut, key, bucket, &cost);
+        Ok(())
+    }
+
+    /// Remove `key`. Returns whether it existed.
+    pub fn delete(&self, key: u64) -> Result<bool, StoreError> {
+        let bucket = bucket_of(key, self.dir_buckets);
+        let guard = self.lock_stripe(bucket);
+        let mut cost = OpCost::default();
+        let existed = match self.find_slot(key, bucket, &mut cost)? {
+            Slot::Absent { .. } => false,
+            Slot::Found {
+                page_id,
+                mut page,
+                mut list,
+                pos,
+            } => {
+                let head = list[pos].1;
+                let (pages, _) = self.walk_chain(key, head, &mut cost)?;
+                list.remove(pos);
+                set_entries(&mut page, &list);
+                self.write_page(page_id, &page, &mut cost)?;
+                self.alloc.free_chain(&self.dev, &pages)?;
+                true
+            }
+        };
+        drop(guard);
+        self.emit(OpKind::KvDelete, key, bucket, &cost);
+        Ok(existed)
+    }
+
+    /// Read and CRC-verify one page.
+    fn read_page(&self, page: u32, cost: &mut OpCost) -> Result<Page, StoreError> {
+        let report = self
+            .dev
+            .read_block(page as usize)
+            .map_err(|e| read_failure(page, e))?;
+        cost.reads += 1;
+        Page::decode(&report.data).map_err(|defect| StoreError::CorruptPage { page, defect })
+    }
+
+    /// Seal and write one page.
+    fn write_page(&self, page: u32, p: &Page, cost: &mut OpCost) -> Result<(), StoreError> {
+        self.dev
+            .write_block(page as usize, &p.encode())
+            .map_err(StoreError::from)?;
+        cost.writes += 1;
+        Ok(())
+    }
+
+    /// Walk the bucket's index chain to the key's slot (or the tail).
+    fn find_slot(&self, key: u64, bucket: u32, cost: &mut OpCost) -> Result<Slot, StoreError> {
+        let mut page_id = bucket_page(bucket);
+        let mut hops = 0u32;
+        loop {
+            let page = self.read_page(page_id, cost)?;
+            let list = entries(&page).map_err(|defect| StoreError::CorruptPage {
+                page: page_id,
+                defect,
+            })?;
+            if let Some(pos) = list.iter().position(|&(k, _)| k == key) {
+                return Ok(Slot::Found {
+                    page_id,
+                    page,
+                    list,
+                    pos,
+                });
+            }
+            if page.next == NO_PAGE {
+                return Ok(Slot::Absent {
+                    page_id,
+                    page,
+                    list,
+                });
+            }
+            hops += 1;
+            if hops > self.alloc.superblock().pages {
+                // An index chain longer than the device is a cycle.
+                return Err(StoreError::CorruptPage {
+                    page: page_id,
+                    defect: PageDefect::WrongPage,
+                });
+            }
+            page_id = page.next;
+        }
+    }
+
+    /// Walk a value chain from `head`, verifying type, key, and chain
+    /// shape; returns the page ids and the reassembled bytes.
+    fn walk_chain(
+        &self,
+        key: u64,
+        head: u32,
+        cost: &mut OpCost,
+    ) -> Result<(Vec<u32>, Vec<u8>), StoreError> {
+        let mut pages = Vec::new();
+        let mut value = Vec::new();
+        let mut at = head;
+        loop {
+            let page = self.read_page(at, cost)?;
+            let head_ok = !pages.is_empty() || page.flags & FLAG_CHAIN_HEAD != 0;
+            if page.page_type != PageType::Data || page.key != key || !head_ok {
+                return Err(StoreError::CorruptPage {
+                    page: at,
+                    defect: PageDefect::WrongPage,
+                });
+            }
+            value.extend_from_slice(page.data());
+            pages.push(at);
+            if page.next == NO_PAGE {
+                return Ok((pages, value));
+            }
+            if pages.len() > MAX_CHAIN_PAGES {
+                return Err(StoreError::CorruptPage {
+                    page: at,
+                    defect: PageDefect::WrongPage,
+                });
+            }
+            at = page.next;
+        }
+    }
+
+    /// Write `value` across the freshly allocated `chain` (tail first,
+    /// so every page's `next` is final when written).
+    fn write_chain(
+        &self,
+        key: u64,
+        value: &[u8],
+        chain: &[u32],
+        cost: &mut OpCost,
+    ) -> Result<(), StoreError> {
+        for (i, &page_id) in chain.iter().enumerate().rev() {
+            let chunk_start = i * PAGE_PAYLOAD_BYTES;
+            let chunk = value
+                .get(chunk_start..value.len().min(chunk_start + PAGE_PAYLOAD_BYTES))
+                .unwrap_or(&[]);
+            let mut p = Page::empty(PageType::Data);
+            p.key = key;
+            p.len = chunk.len() as u16;
+            p.payload[..chunk.len()].copy_from_slice(chunk);
+            p.next = chain.get(i + 1).copied().unwrap_or(NO_PAGE);
+            if i == 0 {
+                p.flags |= FLAG_CHAIN_HEAD;
+            }
+            self.write_page(page_id, &p, cost)?;
+        }
+        Ok(())
+    }
+
+    /// Emit one KV span: begin payload is the mixed key, end payload the
+    /// pages touched; duration is the op's modeled device busy time.
+    fn emit(&self, kind: OpKind, key: u64, bucket: u32, cost: &OpCost) {
+        let rec = self.dev.tracer();
+        if !rec.is_enabled() {
+            return;
+        }
+        let t0 = secs_to_ns(self.dev.now());
+        let bank = self.dev.bank_of(bucket_page(bucket) as usize) as u32;
+        rec.span(
+            kind,
+            bank,
+            bucket_page(bucket),
+            (t0, t0 + cost.model_ns()),
+            (mix64(key), cost.touched()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_device::DeviceBuilder;
+
+    fn store(blocks: usize, banks: usize) -> PcmStore {
+        let dev = DeviceBuilder::new()
+            .blocks(blocks)
+            .banks(banks)
+            .seed(7)
+            .build_sharded()
+            .unwrap();
+        PcmStore::format(
+            dev,
+            StoreConfig {
+                dir_buckets: 8,
+                stripes: 4,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_put_delete_round_trip() {
+        let s = store(128, 4);
+        assert_eq!(s.get(1).unwrap(), None);
+        s.put(1, b"hello").unwrap();
+        s.put(2, b"").unwrap();
+        assert_eq!(s.get(1).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(s.get(2).unwrap().as_deref(), Some(&b""[..]));
+        s.put(1, b"rewritten").unwrap();
+        assert_eq!(s.get(1).unwrap().as_deref(), Some(&b"rewritten"[..]));
+        assert!(s.delete(1).unwrap());
+        assert!(!s.delete(1).unwrap());
+        assert_eq!(s.get(1).unwrap(), None);
+    }
+
+    #[test]
+    fn multi_page_values_round_trip() {
+        let s = store(256, 4);
+        let value: Vec<u8> = (0..150u16).map(|i| i as u8).collect();
+        s.put(9, &value).unwrap();
+        assert_eq!(s.get(9).unwrap().as_deref(), Some(&value[..]));
+        let free_before = s.free_pages();
+        assert!(s.delete(9).unwrap());
+        assert_eq!(
+            s.free_pages(),
+            free_before + pages_for_value(value.len()) as u32
+        );
+    }
+
+    #[test]
+    fn put_delete_returns_pages_to_the_free_list() {
+        let s = store(128, 4);
+        let baseline = s.free_pages();
+        for k in 0..10u64 {
+            s.put(k, &[k as u8; 30]).unwrap();
+        }
+        for k in 0..10u64 {
+            assert!(s.delete(k).unwrap());
+        }
+        assert_eq!(s.free_pages(), baseline);
+    }
+
+    #[test]
+    fn bucket_overflow_chains_work() {
+        // 8 buckets, 40 keys: several buckets exceed 3 entries and chain.
+        let s = store(256, 4);
+        for k in 0..40u64 {
+            s.put(k, &k.to_le_bytes()).unwrap();
+        }
+        for k in 0..40u64 {
+            assert_eq!(
+                s.get(k).unwrap().as_deref(),
+                Some(&k.to_le_bytes()[..]),
+                "key {k}"
+            );
+        }
+        for k in 0..40u64 {
+            assert!(s.delete(k).unwrap(), "key {k}");
+        }
+        for k in 0..40u64 {
+            assert_eq!(s.get(k).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn reopen_preserves_contents() {
+        let s = store(128, 4);
+        s.put(5, b"persisted").unwrap();
+        let dev = s.into_device();
+        let s = PcmStore::open(dev).unwrap();
+        assert_eq!(s.get(5).unwrap().as_deref(), Some(&b"persisted"[..]));
+    }
+
+    #[test]
+    fn rejects_oversized_values_and_tiny_devices() {
+        let s = store(128, 4);
+        let huge = vec![0u8; MAX_VALUE_BYTES + 1];
+        assert!(matches!(
+            s.put(1, &huge),
+            Err(StoreError::ValueTooLarge { .. })
+        ));
+
+        let dev = DeviceBuilder::new()
+            .blocks(4)
+            .banks(4)
+            .build_sharded()
+            .unwrap();
+        assert!(matches!(
+            PcmStore::format(dev, StoreConfig::default()),
+            Err(StoreError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn fills_up_and_reports_store_full() {
+        let s = store(32, 4); // 8 buckets + super = 9 pages overhead
+        let mut stored = 0u64;
+        let mut err = None;
+        for k in 0..64u64 {
+            match s.put(k, &[1; 10]) {
+                Ok(()) => stored += 1,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert!(stored > 0);
+        assert!(matches!(err, Some(StoreError::StoreFull)));
+        // Everything stored before the full condition is still readable.
+        for k in 0..stored {
+            assert!(s.get(k).unwrap().is_some(), "key {k}");
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Closed-loop, deterministic KV workload generation (YCSB-style).
+//!
+//! The determinism unit is the **actor**: a logical client with its own
+//! RNG stream (`Xoshiro256pp::split(seed, actor)`) and a keyspace
+//! disjoint from every other actor's. An actor's op sequence — and
+//! therefore its hit/miss/put counts — is a pure function of the seed,
+//! independent of how actors are multiplexed onto threads. Running `W`
+//! actors on 1, 2, or 8 threads changes only physical interleaving;
+//! the summed [`OpTotals`] are identical, which is exactly what the CI
+//! determinism gate asserts on `BENCH_store.json`.
+//!
+//! Key popularity within an actor is zipfian (the Gray et al. sampler
+//! YCSB uses, default theta 0.99), so a handful of hot keys absorb most
+//! traffic. Mixes are read/update percentages: A = 50/50, B = 95/5,
+//! C = 100/0.
+//!
+//! Latency is *model* latency: the device charges every block op its
+//! paper-calibrated busy time into the shared [`DeviceMetrics`]
+//! histograms, and the report reads its percentiles from there. No wall
+//! clock is consulted anywhere in this crate (`pcm-store` is a
+//! determinism crate under pcm-lint).
+
+use crate::error::StoreError;
+use crate::store::{pages_for_value, PcmStore, StoreConfig, MAX_VALUE_BYTES};
+use pcm_core::rng::Xoshiro256pp;
+use pcm_device::metrics::LogHistogram;
+use pcm_device::DeviceMetrics;
+use std::sync::mpsc;
+
+/// A read/update mix, as a read percentage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Percent of ops that are reads (the rest are updates).
+    pub read_pct: u8,
+}
+
+impl Mix {
+    /// YCSB-A: update-heavy, 50% reads / 50% updates.
+    pub const YCSB_A: Mix = Mix { read_pct: 50 };
+    /// YCSB-B: read-mostly, 95% reads / 5% updates.
+    pub const YCSB_B: Mix = Mix { read_pct: 95 };
+    /// YCSB-C: read-only.
+    pub const YCSB_C: Mix = Mix { read_pct: 100 };
+
+    /// Parse a preset name (`a`/`b`/`c`, case-insensitive).
+    pub fn preset(name: &str) -> Option<Mix> {
+        match name.to_ascii_lowercase().as_str() {
+            "a" | "ycsb-a" => Some(Mix::YCSB_A),
+            "b" | "ycsb-b" => Some(Mix::YCSB_B),
+            "c" | "ycsb-c" => Some(Mix::YCSB_C),
+            _ => None,
+        }
+    }
+}
+
+/// Workload shape. `actors` is the concurrency-independent determinism
+/// unit; `threads` is chosen per run, not here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Base seed; actor `i` draws from stream `split(seed, i)`.
+    pub seed: u64,
+    /// Logical clients with disjoint keyspaces.
+    pub actors: usize,
+    /// Keys per actor (actor `i` owns `i*keys_per_actor ..`).
+    pub keys_per_actor: u64,
+    /// Measured ops per actor (after preload).
+    pub ops_per_actor: u64,
+    /// Value size, bytes (uniform).
+    pub value_bytes: usize,
+    /// Read/update mix.
+    pub mix: Mix,
+    /// Zipfian skew (YCSB default 0.99; 0 = near-uniform).
+    pub zipf_theta: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 42,
+            actors: 8,
+            keys_per_actor: 128,
+            ops_per_actor: 1000,
+            value_bytes: 100,
+            mix: Mix::YCSB_A,
+            zipf_theta: 0.99,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// Device blocks a store must have to run this workload without ever
+    /// hitting `StoreFull` (which would make op totals interleaving-
+    /// dependent): superblock + directory + every key's chain + one
+    /// in-flight replacement chain per actor + worst-case overflow index
+    /// pages + slack.
+    pub fn required_blocks(&self, store_cfg: &StoreConfig) -> usize {
+        let ppv = pages_for_value(self.value_bytes);
+        let keys = self.actors * self.keys_per_actor as usize;
+        let overflow = keys.div_ceil(crate::directory::ENTRIES_PER_PAGE);
+        1 + store_cfg.dir_buckets as usize + (keys + self.actors) * ppv + overflow + 16
+    }
+
+    fn validate(&self) -> Result<(), StoreError> {
+        if self.value_bytes > MAX_VALUE_BYTES {
+            return Err(StoreError::ValueTooLarge {
+                len: self.value_bytes,
+                max: MAX_VALUE_BYTES,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Summed op counts. For a fixed seed these are identical across runs
+/// and thread counts — the determinism gate's byte-for-byte content.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpTotals {
+    /// Preload puts (one per key).
+    pub preload_puts: u64,
+    /// Measured-phase gets.
+    pub gets: u64,
+    /// Measured-phase puts (updates).
+    pub puts: u64,
+    /// Measured-phase deletes.
+    pub deletes: u64,
+    /// Gets that found the key with verified contents.
+    pub hits: u64,
+    /// Gets that missed.
+    pub misses: u64,
+    /// Gets that returned bytes differing from what was written (always
+    /// 0 on a healthy device — counted rather than ignored so a codec
+    /// regression cannot hide).
+    pub mismatches: u64,
+}
+
+impl OpTotals {
+    fn add(&mut self, other: &OpTotals) {
+        self.preload_puts += other.preload_puts;
+        self.gets += other.gets;
+        self.puts += other.puts;
+        self.deletes += other.deletes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.mismatches += other.mismatches;
+    }
+
+    /// Measured-phase op count.
+    pub fn measured_ops(&self) -> u64 {
+        self.gets + self.puts + self.deletes
+    }
+}
+
+/// One run's outcome: totals plus model-time latency/throughput derived
+/// from the device's metrics registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    /// Threads the actors were multiplexed onto.
+    pub threads: usize,
+    /// Summed per-actor op counts (thread-count invariant).
+    pub totals: OpTotals,
+    /// Total modeled device busy time, ns (sum over banks).
+    pub busy_ns: u64,
+    /// Device-op latency percentiles from the merged per-bank
+    /// histograms (bucket floors, ns).
+    pub p50_ns: u64,
+    /// 95th percentile, ns.
+    pub p95_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Measured KV ops per modeled second of *aggregate* bank busy time
+    /// (banks run in parallel, so this understates device throughput —
+    /// it is a stable efficiency figure, not a wall-clock claim).
+    pub kops_per_model_sec: f64,
+}
+
+/// The Gray et al. bounded zipfian sampler (as used by YCSB).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// A sampler over ranks `0..n` with skew `theta` (clamped to
+    /// `[0, 0.9999]`; 1.0 is a pole of the formula).
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        let n = n.max(1);
+        let theta = theta.clamp(0.0, 0.9999);
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Map a uniform `u` in `[0, 1)` to a rank in `0..n` (rank 0 is the
+    /// hottest).
+    pub fn sample(&self, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if self.n >= 2 && uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+/// The deterministic value an actor stores under `key`: a key-derived
+/// byte pattern, so reads verify end-to-end integrity for free.
+pub fn value_for(key: u64, len: usize) -> Vec<u8> {
+    let seed = crate::directory::mix64(key);
+    (0..len)
+        .map(|i| (seed >> ((i % 8) * 8)) as u8 ^ (i / 8) as u8)
+        .collect()
+}
+
+/// Run `cfg` against `store` with actors multiplexed onto `threads`
+/// OS threads (round-robin). Preloads every actor's keyspace, then runs
+/// the measured mix. Returns the merged report; the first store error
+/// (if any) aborts the run.
+pub fn run(
+    store: &PcmStore,
+    cfg: &WorkloadConfig,
+    threads: usize,
+) -> Result<WorkloadReport, StoreError> {
+    cfg.validate()?;
+    let threads = threads.max(1);
+    let mut totals = OpTotals::default();
+    let (tx, rx) = mpsc::channel::<Result<OpTotals, StoreError>>();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let mut actor = t;
+                while actor < cfg.actors {
+                    let r = run_actor(store, cfg, actor);
+                    let failed = r.is_err();
+                    if tx.send(r).is_err() || failed {
+                        return;
+                    }
+                    actor += threads;
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut first_err = None;
+    for r in rx.iter() {
+        match r {
+            Ok(t) => totals.add(&t),
+            Err(e) => {
+                first_err = first_err.or(Some(e));
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(report_from(store.device().metrics(), threads, totals))
+}
+
+/// One actor's full run: preload its keyspace, then its measured ops.
+fn run_actor(store: &PcmStore, cfg: &WorkloadConfig, actor: usize) -> Result<OpTotals, StoreError> {
+    let mut totals = OpTotals::default();
+    let base = actor as u64 * cfg.keys_per_actor;
+    let mut rng = Xoshiro256pp::split(cfg.seed, actor as u64);
+    let zipf = Zipfian::new(cfg.keys_per_actor, cfg.zipf_theta);
+    for k in 0..cfg.keys_per_actor {
+        store.put(base + k, &value_for(base + k, cfg.value_bytes))?;
+        totals.preload_puts += 1;
+    }
+    for _ in 0..cfg.ops_per_actor {
+        let rank = zipf.sample(rng.next_f64());
+        let key = base + rank;
+        if rng.next_bounded(100) < cfg.mix.read_pct as u64 {
+            totals.gets += 1;
+            match store.get(key)? {
+                Some(v) if v == value_for(key, cfg.value_bytes) => totals.hits += 1,
+                Some(_) => totals.mismatches += 1,
+                None => totals.misses += 1,
+            }
+        } else {
+            totals.puts += 1;
+            store.put(key, &value_for(key, cfg.value_bytes))?;
+        }
+    }
+    Ok(totals)
+}
+
+fn report_from(metrics: &DeviceMetrics, threads: usize, totals: OpTotals) -> WorkloadReport {
+    let snap = metrics.snapshot();
+    let agg = snap.total();
+    let merged = LogHistogram::new();
+    merged.merge_counts(&agg.latency_buckets);
+    let kops = if agg.busy_ns == 0 {
+        0.0
+    } else {
+        totals.measured_ops() as f64 / (agg.busy_ns as f64 / 1e9) / 1e3
+    };
+    WorkloadReport {
+        threads,
+        totals,
+        busy_ns: agg.busy_ns,
+        p50_ns: merged.quantile_floor(0.50),
+        p95_ns: merged.quantile_floor(0.95),
+        p99_ns: merged.quantile_floor(0.99),
+        kops_per_model_sec: kops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_device::DeviceBuilder;
+
+    fn fresh_store(cfg: &WorkloadConfig) -> PcmStore {
+        let store_cfg = StoreConfig {
+            dir_buckets: 32,
+            stripes: 8,
+        };
+        let banks = 8;
+        let blocks = cfg.required_blocks(&store_cfg).div_ceil(banks) * banks;
+        let dev = DeviceBuilder::new()
+            .blocks(blocks)
+            .banks(banks)
+            .seed(cfg.seed)
+            .build_sharded()
+            .unwrap();
+        PcmStore::format(dev, store_cfg).unwrap()
+    }
+
+    fn small_cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            actors: 4,
+            keys_per_actor: 16,
+            ops_per_actor: 50,
+            value_bytes: 60,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let z = Zipfian::new(100, 0.99);
+        let mut rng = Xoshiro256pp::split(1, 0);
+        let mut counts = [0u64; 100];
+        for _ in 0..10_000 {
+            let r = z.sample(rng.next_f64()) as usize;
+            assert!(r < 100);
+            counts[r] += 1;
+        }
+        assert!(counts[0] > counts[50].max(1) * 5, "{:?}", &counts[..5]);
+    }
+
+    #[test]
+    fn op_totals_are_thread_count_invariant() {
+        let cfg = small_cfg();
+        let mut baseline = None;
+        for threads in [1usize, 2, 8] {
+            let store = fresh_store(&cfg);
+            let report = run(&store, &cfg, threads).unwrap();
+            assert_eq!(report.totals.mismatches, 0);
+            assert_eq!(
+                report.totals.measured_ops(),
+                cfg.actors as u64 * cfg.ops_per_actor
+            );
+            match &baseline {
+                None => baseline = Some(report.totals),
+                Some(b) => assert_eq!(*b, report.totals, "{threads} threads diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_hit_their_read_fractions_roughly() {
+        let cfg = WorkloadConfig {
+            mix: Mix::YCSB_B,
+            ..small_cfg()
+        };
+        let store = fresh_store(&cfg);
+        let report = run(&store, &cfg, 2).unwrap();
+        let total = report.totals.measured_ops();
+        let reads = report.totals.gets;
+        // 95% ± 5 points on 200 ops.
+        assert!(
+            reads * 100 >= total * 90 && reads * 100 <= total * 100,
+            "reads {reads} of {total}"
+        );
+        assert!(report.p50_ns > 0);
+        assert!(report.busy_ns > 0);
+    }
+
+    #[test]
+    fn preset_names_parse() {
+        assert_eq!(Mix::preset("a"), Some(Mix::YCSB_A));
+        assert_eq!(Mix::preset("YCSB-B"), Some(Mix::YCSB_B));
+        assert_eq!(Mix::preset("c"), Some(Mix::YCSB_C));
+        assert_eq!(Mix::preset("z"), None);
+    }
+}

@@ -36,11 +36,23 @@ pub enum OpKind {
     /// A failed operation (instant; payload = error code, see
     /// device-layer docs).
     Failure,
+    /// A key-value GET served by the store layer (span over the device
+    /// reads it issued; begin payload = key hash, end payload = pages
+    /// touched).
+    KvGet,
+    /// A key-value PUT served by the store layer (span over the device
+    /// writes it issued; begin payload = key hash, end payload = pages
+    /// touched).
+    KvPut,
+    /// A key-value DELETE served by the store layer (span over the
+    /// device writes it issued; begin payload = key hash, end payload =
+    /// pages freed).
+    KvDelete,
 }
 
 impl OpKind {
     /// Every kind, in wire-code order.
-    pub const ALL: [OpKind; 7] = [
+    pub const ALL: [OpKind; 10] = [
         OpKind::Read,
         OpKind::Write,
         OpKind::Refresh,
@@ -48,6 +60,9 @@ impl OpKind {
         OpKind::Remap,
         OpKind::EccDecode,
         OpKind::Failure,
+        OpKind::KvGet,
+        OpKind::KvPut,
+        OpKind::KvDelete,
     ];
 
     /// Stable lowercase name used by the JSONL exporter.
@@ -60,6 +75,9 @@ impl OpKind {
             OpKind::Remap => "remap",
             OpKind::EccDecode => "ecc_decode",
             OpKind::Failure => "failure",
+            OpKind::KvGet => "kv_get",
+            OpKind::KvPut => "kv_put",
+            OpKind::KvDelete => "kv_delete",
         }
     }
 
@@ -78,6 +96,9 @@ impl OpKind {
             OpKind::Remap => 4,
             OpKind::EccDecode => 5,
             OpKind::Failure => 6,
+            OpKind::KvGet => 7,
+            OpKind::KvPut => 8,
+            OpKind::KvDelete => 9,
         }
     }
 

@@ -1,10 +1,14 @@
 //! Expected-fail fixture for `no-deprecated-internal`.
 
-#[allow(deprecated)] //~ no-deprecated-internal
+#[deprecated(since = "0.3.0", note = "use modern_device")] //~ no-deprecated-internal
 pub fn legacy_device() -> PcmDevice {
-    PcmDevice::new(CellOrganization::FourLevel, 64, 8, 42) //~ no-deprecated-internal
+    modern_device()
 }
 
-pub fn legacy_endurance() -> PcmDevice {
-    PcmDevice::with_endurance(CellOrganization::FourLevel, 64, 8, 42, EnduranceModel::mlc()) //~ no-deprecated-internal
+#[allow(deprecated)] //~ no-deprecated-internal
+pub fn calls_legacy() -> PcmDevice {
+    legacy_device()
 }
+
+#[deprecated] //~ no-deprecated-internal
+pub struct OldHandle;

@@ -1,5 +1,5 @@
-//! Expected-pass fixture for `no-deprecated-internal`: the builder API,
-//! and tests exercising the shims deliberately.
+//! Expected-pass fixture for `no-deprecated-internal`: modern builder
+//! API, and compat suppressions confined to test code.
 
 pub fn modern_device() -> Result<PcmDevice, ConfigError> {
     PcmDevice::builder().blocks(64).banks(8).seed(42).build()
@@ -11,7 +11,7 @@ mod tests {
 
     #[test]
     #[allow(deprecated)]
-    fn shims_still_work_for_compat_tests() {
-        let _ = PcmDevice::new(CellOrganization::FourLevel, 64, 8, 42);
+    fn compat_suppression_is_fine_in_tests() {
+        let _ = modern_device();
     }
 }

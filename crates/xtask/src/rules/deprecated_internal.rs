@@ -1,13 +1,13 @@
-//! `no-deprecated-internal`: the deprecated positional constructors are
-//! shims, not an API.
+//! `no-deprecated-internal`: the workspace ships no deprecated API.
 //!
-//! PR 1 deprecated `PcmDevice::new` / `PcmDevice::with_endurance` in
-//! favor of `DeviceBuilder`, and PR 2 migrated every internal caller to
-//! the shared `from_legacy_args` body. This rule keeps the workspace off
-//! the shims for good: outside the file that defines them, non-test code
-//! may neither call them nor blanket-suppress the deprecation with
-//! `#[allow(deprecated)]` (which would also hide *future* deprecations
-//! at that site).
+//! PR 1 deprecated the positional `PcmDevice` constructors behind
+//! `#[deprecated]` shims; PR 6 deleted them, making `DeviceBuilder` the
+//! only construction path and the public surface deprecation-free. This
+//! rule keeps it that way: non-test code may neither introduce a new
+//! `#[deprecated]` item (deprecation cycles don't exist inside one
+//! workspace — delete or redesign instead) nor blanket-suppress
+//! deprecation warnings with `#[allow(deprecated)]` (which would also
+//! hide deprecations from future dependency upgrades).
 
 use super::Rule;
 use crate::lexer::TokKind;
@@ -16,58 +16,40 @@ use crate::Diagnostic;
 
 pub struct NoDeprecatedInternal;
 
-/// The deprecated positional constructors.
-const DEPRECATED_CTORS: &[&str] = &["new", "with_endurance"];
-/// The file defining the shims (and the one place allowed to mention
-/// them in code).
-const SHIM_FILE: &str = "pcm-device/src/device.rs";
-
 impl Rule for NoDeprecatedInternal {
     fn id(&self) -> &'static str {
         "no-deprecated-internal"
     }
 
     fn describe(&self) -> &'static str {
-        "forbid the deprecated positional constructors (and allow(deprecated)) outside the shims"
+        "forbid #[deprecated] items and #[allow(deprecated)] suppressions in non-test code"
     }
 
     fn check(&self, f: &SourceFile, out: &mut Vec<Diagnostic>) {
-        if f.rel.ends_with(SHIM_FILE) {
-            return;
-        }
         for i in 0..f.code.len() {
             if f.in_test[i] {
                 continue;
             }
             let t = &f.code[i];
-            // `PcmDevice::new(…)` / `PcmDevice::with_endurance(…)`.
-            if t.kind == TokKind::Ident
-                && t.text == "PcmDevice"
-                && f.is_punct(i + 1, "::")
-                && f.tok(i + 2).is_some_and(|n| {
-                    n.kind == TokKind::Ident && DEPRECATED_CTORS.contains(&n.text.as_str())
-                })
-                && f.is_punct(i + 3, "(")
-            {
-                let name = &f.code[i + 2].text;
+            if t.kind != TokKind::Punct || t.text != "#" || !f.is_punct(i + 1, "[") {
+                continue;
+            }
+            // `#[deprecated]` / `#[deprecated(since = …)]`.
+            if f.is_ident(i + 2, "deprecated") {
                 out.push(Diagnostic {
                     rule: self.id(),
                     file: f.rel.clone(),
                     line: t.line,
                     col: t.col,
-                    message: format!(
-                        "call to deprecated positional constructor `PcmDevice::{name}`"
-                    ),
-                    suggestion: "construct through PcmDevice::builder() / DeviceBuilder, which \
-                                 reports ConfigError instead of panicking"
+                    message: "`#[deprecated]` item in the workspace".to_string(),
+                    suggestion: "the workspace carries no deprecation shims: delete the old \
+                                 surface and migrate its callers in the same PR (see the \
+                                 DeviceBuilder migration)"
                         .to_string(),
                 });
             }
-            // `#[allow(deprecated)]` outside the shim file.
-            if t.kind == TokKind::Punct
-                && t.text == "#"
-                && f.is_punct(i + 1, "[")
-                && f.is_ident(i + 2, "allow")
+            // `#[allow(deprecated)]`.
+            if f.is_ident(i + 2, "allow")
                 && f.is_punct(i + 3, "(")
                 && f.is_ident(i + 4, "deprecated")
             {
@@ -76,10 +58,9 @@ impl Rule for NoDeprecatedInternal {
                     file: f.rel.clone(),
                     line: t.line,
                     col: t.col,
-                    message: "`#[allow(deprecated)]` suppression outside the legacy shims"
-                        .to_string(),
-                    suggestion: "migrate the call site to DeviceBuilder; deprecation \
-                                 suppressions live only in pcm-device/src/device.rs"
+                    message: "`#[allow(deprecated)]` suppression in non-test code".to_string(),
+                    suggestion: "migrate the call site off the deprecated API instead of \
+                                 suppressing the warning"
                         .to_string(),
                 });
             }

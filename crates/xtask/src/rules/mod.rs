@@ -40,6 +40,7 @@ pub const LIB_CRATES: &[&str] = &[
     "pcm-core",
     "pcm-device",
     "pcm-sim",
+    "pcm-store",
     "pcm-trace",
     "pcm-ecc",
     "pcm-codec",
@@ -47,7 +48,13 @@ pub const LIB_CRATES: &[&str] = &[
 ];
 
 /// The crates whose results must be a pure function of the seed.
-pub const DETERMINISM_CRATES: &[&str] = &["pcm-core", "pcm-device", "pcm-sim", "pcm-trace"];
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "pcm-core",
+    "pcm-device",
+    "pcm-sim",
+    "pcm-store",
+    "pcm-trace",
+];
 
 /// The crates that take bank locks.
-pub const LOCK_CRATES: &[&str] = &["pcm-device", "pcm-sim"];
+pub const LOCK_CRATES: &[&str] = &["pcm-device", "pcm-sim", "pcm-store"];
