@@ -13,6 +13,7 @@
 
 use super::CerEstimator;
 use crate::cell::write_cell;
+use crate::drift::{log_time, PreparedTrajectory};
 use crate::level::LevelDesign;
 use crate::math::stats::Proportion;
 use crate::rng::Xoshiro256pp;
@@ -75,11 +76,112 @@ impl MonteCarloCer {
 
     /// Run the simulation for `design` over `times` (seconds, need not be
     /// sorted).
+    ///
+    /// Batched evaluation: cells are drawn in chunks, their trajectories
+    /// flattened into [`PreparedTrajectory`] buffers, and the per-time
+    /// error test runs as tight loops over those buffers with the
+    /// `log10`/region lookups hoisted out. **Bit-identical** per
+    /// `(samples_per_state, seed)` to [`MonteCarloCer::estimate_reference`]
+    /// — the pre-batching per-sample path — because the RNG draw order,
+    /// every float expression, and the per-shard integer counts are all
+    /// preserved (see DESIGN.md §14).
     pub fn estimate(&self, design: &LevelDesign, times: &[f64]) -> McCerReport {
         // pcm-lint: allow(no-panic-lib) — contract: evaluation-time grids come from the experiment tables and are never empty
         assert!(!times.is_empty(), "need at least one evaluation time");
         let n_states = design.n_levels();
         let n_times = times.len();
+        // Hoisted per call: the log-time grid (one log10 per time instead
+        // of one per sample×time) and each state's sensing band, mapped to
+        // ±∞ at the extremes so the error test is two bare compares.
+        let log_times: Vec<f64> = times.iter().map(|&t| log_time(t)).collect();
+        let bands: Vec<(f64, f64)> = (0..n_states)
+            .map(|s| {
+                let (lo, hi) = design.region(s);
+                (lo.unwrap_or(f64::NEG_INFINITY), hi.unwrap_or(f64::INFINITY))
+            })
+            .collect();
+
+        // Draw order matches the reference path exactly: per shard, states
+        // in order, samples in order — chunking only groups *evaluations*,
+        // and the error counts are integer sums, so regrouping is exact.
+        const CHUNK: usize = 256;
+        let totals = self.run_sharded(n_states * n_times, |rng, size, counts| {
+            let mut plain: Vec<(f64, f64)> = Vec::with_capacity(CHUNK);
+            let mut switched: Vec<PreparedTrajectory> = Vec::with_capacity(CHUNK);
+            for (state, &(lo, hi)) in bands.iter().enumerate() {
+                let mut remaining = size;
+                while remaining > 0 {
+                    let n = remaining.min(CHUNK as u64) as usize;
+                    remaining -= n as u64;
+                    plain.clear();
+                    switched.clear();
+                    for _ in 0..n {
+                        let p = write_cell(design, state, rng).trajectory.prepare();
+                        // Trajectories that never switch regimes take the
+                        // two-f64 fast lane; the rest keep the compare.
+                        if p.lc == f64::INFINITY {
+                            plain.push((p.logr0, p.alpha1));
+                        } else {
+                            switched.push(p);
+                        }
+                    }
+                    for (ti, &lt) in log_times.iter().enumerate() {
+                        let l = lt.max(0.0);
+                        let mut errs = 0u64;
+                        for &(logr0, alpha1) in &plain {
+                            let lr = logr0 + alpha1 * l;
+                            errs += u64::from(lr < lo || lr >= hi);
+                        }
+                        for p in &switched {
+                            let lr = if l > p.lc {
+                                p.base + p.alpha2 * (l - p.lc)
+                            } else {
+                                p.logr0 + p.alpha1 * l
+                            };
+                            errs += u64::from(lr < lo || lr >= hi);
+                        }
+                        counts[state * n_times + ti] += errs;
+                    }
+                }
+            }
+        });
+        self.report(design, times, &totals)
+    }
+
+    /// The pre-batching sampler: one `write_cell` + full trajectory
+    /// evaluation per sample, straight through [`LevelDesign::sense`].
+    /// Kept as the oracle for the batched path — `estimate` must produce
+    /// bit-identical hit counts for any `(samples, seed, design, times)`.
+    pub fn estimate_reference(&self, design: &LevelDesign, times: &[f64]) -> McCerReport {
+        // pcm-lint: allow(no-panic-lib) — contract: evaluation-time grids come from the experiment tables and are never empty
+        assert!(!times.is_empty(), "need at least one evaluation time");
+        let n_states = design.n_levels();
+        let n_times = times.len();
+        let totals = self.run_sharded(n_states * n_times, |rng, size, counts| {
+            for state in 0..n_states {
+                for _ in 0..size {
+                    let cell = write_cell(design, state, rng);
+                    // One trajectory serves the whole grid; each
+                    // evaluation is a few flops.
+                    for (ti, &t) in times.iter().enumerate() {
+                        let sensed = design.sense(cell.trajectory.logr_at(t));
+                        if sensed != state {
+                            counts[state * n_times + ti] += 1;
+                        }
+                    }
+                }
+            }
+        });
+        self.report(design, times, &totals)
+    }
+
+    /// Shard/worker scaffold shared by both sampling paths. `per_shard`
+    /// runs once per shard with that shard's RNG stream, sample count, and
+    /// the worker's count accumulator (`n_counts` slots).
+    fn run_sharded<F>(&self, n_counts: usize, per_shard: F) -> Vec<u64>
+    where
+        F: Fn(&mut Xoshiro256pp, u64, &mut [u64]) + Sync,
+    {
         // The shard count is FIXED (independent of thread count) so that a
         // given (samples, seed) pair yields bit-identical results on any
         // machine; workers pick up shards round-robin.
@@ -99,24 +201,13 @@ impl MonteCarloCer {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let shard_sizes = &shard_sizes;
+                    let per_shard = &per_shard;
                     let seed = self.seed;
                     scope.spawn(move || {
-                        let mut counts = vec![0u64; n_states * n_times];
+                        let mut counts = vec![0u64; n_counts];
                         for shard in (w..shards).step_by(workers) {
                             let mut rng = Xoshiro256pp::split(seed, shard as u64);
-                            for state in 0..n_states {
-                                for _ in 0..shard_sizes[shard] {
-                                    let cell = write_cell(design, state, &mut rng);
-                                    // One trajectory serves the whole grid;
-                                    // each evaluation is a few flops.
-                                    for (ti, &t) in times.iter().enumerate() {
-                                        let sensed = design.sense(cell.trajectory.logr_at(t));
-                                        if sensed != state {
-                                            counts[state * n_times + ti] += 1;
-                                        }
-                                    }
-                                }
-                            }
+                            per_shard(&mut rng, shard_sizes[shard], &mut counts);
                         }
                         counts
                     })
@@ -128,13 +219,19 @@ impl MonteCarloCer {
             }
         });
 
-        let mut totals = vec![0u64; n_states * n_times];
+        let mut totals = vec![0u64; n_counts];
         for sc in &worker_counts {
             for (t, &c) in totals.iter_mut().zip(sc) {
                 *t += c;
             }
         }
+        totals
+    }
 
+    /// Assemble the per-time report from merged shard counts.
+    fn report(&self, design: &LevelDesign, times: &[f64], totals: &[u64]) -> McCerReport {
+        let n_states = design.n_levels();
+        let n_times = times.len();
         let points = times
             .iter()
             .enumerate()
@@ -257,6 +354,80 @@ mod tests {
             grid.points[1].per_state[2].hits,
             single.points[0].per_state[2].hits
         );
+    }
+
+    #[test]
+    fn hit_counts_pinned_against_pre_batching_sampler() {
+        // Exact per-state hit counts captured from the pre-batching
+        // (per-sample powf) sampler. The batched evaluation must keep the
+        // estimator bit-identical per (samples, seed): any change to the
+        // RNG draw order, the drift arithmetic, or the sensing comparison
+        // shows up here as a count mismatch.
+        // 4LC pins the plain-trajectory path; 3LC at long horizons pins
+        // the §5.3 rate-switch path (its S2 only errs past ~1e13 s at
+        // this sample size).
+        type PinnedCase = (&'static str, LevelDesign, [f64; 3], Vec<[u64; 3]>);
+        let cases: [PinnedCase; 2] = [
+            (
+                "4LCn",
+                LevelDesign::four_level_naive(),
+                [32.0, 1024.0, 1.0e6],
+                vec![[0, 0, 0], [0, 22, 108], [51, 375, 2629], [0, 0, 0]],
+            ),
+            (
+                "3LCn",
+                LevelDesign::three_level_naive(),
+                [1.0e12, 1.0e14, 1.0e16],
+                vec![[0, 0, 0], [0, 7, 22], [0, 0, 0]],
+            ),
+        ];
+        for (name, design, times, expected) in &cases {
+            let rep = MonteCarloCer::new(10_007, 12345)
+                .with_threads(2)
+                .estimate(design, times);
+            for (ti, point) in rep.points.iter().enumerate() {
+                for (s, p) in point.per_state.iter().enumerate() {
+                    assert_eq!(
+                        p.hits, expected[s][ti],
+                        "{name} state {s} t={} drifted from the pinned sampler",
+                        point.t_secs
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_estimate_is_bit_identical_to_reference() {
+        // The batched path must reproduce the per-sample oracle's hit
+        // counts exactly — across designs (plain and rate-switch
+        // trajectories), thread counts, and odd sample counts that leave
+        // partial chunks.
+        let designs = [
+            LevelDesign::four_level_naive(),
+            LevelDesign::three_level_naive(),
+        ];
+        let times = [0.5, 32.0, 1024.0, 1.0e6, 1.0e13];
+        for d in &designs {
+            for (samples, threads) in [(10_007u64, 1usize), (3_001, 4)] {
+                let fast = MonteCarloCer::new(samples, 99)
+                    .with_threads(threads)
+                    .estimate(d, &times);
+                let slow = MonteCarloCer::new(samples, 99)
+                    .with_threads(threads)
+                    .estimate_reference(d, &times);
+                for (pf, ps) in fast.points.iter().zip(&slow.points) {
+                    for (a, b) in pf.per_state.iter().zip(&ps.per_state) {
+                        assert_eq!(
+                            a.hits, b.hits,
+                            "{} samples={samples} threads={threads} t={}",
+                            d.name, pf.t_secs
+                        );
+                    }
+                    assert_eq!(pf.weighted_cer.to_bits(), ps.weighted_cer.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

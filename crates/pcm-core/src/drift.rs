@@ -111,9 +111,78 @@ impl DriftTrajectory {
     }
 
     /// Absolute time in seconds to reach `target` log10 R.
+    ///
+    /// Returns `None` when the trajectory never reaches the target, **or**
+    /// when the log-time is so large that `t0 · 10^l` overflows `f64`
+    /// (shallow drift toward a far target): a non-finite instant is
+    /// indistinguishable from "never" for every scheduler decision, and
+    /// propagating `inf` into time arithmetic poisons comparisons.
     pub fn time_to_reach(&self, target: f64) -> Option<f64> {
         self.log_time_to_reach(target)
             .map(|l| DRIFT_T0_SECS * 10f64.powf(l))
+            .filter(|t| t.is_finite())
+    }
+
+    /// Flatten this trajectory for batched evaluation.
+    pub fn prepare(&self) -> PreparedTrajectory {
+        match (self.switch, self.switch_log_time()) {
+            (Some((sw, alpha2)), Some(lc)) => PreparedTrajectory {
+                logr0: self.logr0,
+                alpha1: self.alpha1,
+                lc,
+                base: if lc == 0.0 { self.logr0.max(sw) } else { sw },
+                alpha2,
+            },
+            _ => PreparedTrajectory {
+                logr0: self.logr0,
+                alpha1: self.alpha1,
+                // No switch (or never crossed): the +∞ sentinel makes the
+                // regime-2 branch unreachable without a separate flag.
+                lc: f64::INFINITY,
+                base: 0.0,
+                alpha2: 0.0,
+            },
+        }
+    }
+}
+
+/// A [`DriftTrajectory`] flattened into plain `f64` fields for tight,
+/// auto-vectorizable batch loops (the Monte-Carlo CER sampler evaluates
+/// millions of these per time grid).
+///
+/// The switch decision is folded into a precomputed crossing log-time `lc`
+/// (`+∞` when there is no switch or it is never crossed), so evaluation is
+/// one compare and one fused multiply-add chain per point. **Bit-identity
+/// contract:** [`PreparedTrajectory::logr_at_log_time`] computes exactly
+/// the same float expressions as [`DriftTrajectory::logr_at_log_time`] —
+/// same operations, same order — so a prepared evaluation can replace the
+/// original inside the deterministic MC sampler without changing a single
+/// sampled bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreparedTrajectory {
+    /// Initial log10 resistance.
+    pub logr0: f64,
+    /// Regime-1 drift exponent.
+    pub alpha1: f64,
+    /// Crossing log-time into regime 2 (`+∞` when unreachable).
+    pub lc: f64,
+    /// Log-resistance at the crossing (regime-2 intercept).
+    pub base: f64,
+    /// Regime-2 drift exponent.
+    pub alpha2: f64,
+}
+
+impl PreparedTrajectory {
+    /// Log-resistance at log-time `l`; bit-identical to
+    /// [`DriftTrajectory::logr_at_log_time`] on the source trajectory.
+    #[inline]
+    pub fn logr_at_log_time(&self, l: f64) -> f64 {
+        let l = l.max(0.0);
+        if l > self.lc {
+            self.base + self.alpha2 * (l - self.lc)
+        } else {
+            self.logr0 + self.alpha1 * l
+        }
     }
 }
 
@@ -207,5 +276,51 @@ mod tests {
         let tr = DriftTrajectory::with_switch(4.0, 0.0, 4.5, 0.06);
         assert_eq!(tr.time_to_reach(5.0), None);
         assert_eq!(tr.logr_at(1e20), 4.0);
+    }
+
+    #[test]
+    fn time_to_reach_never_returns_non_finite() {
+        // Shallow drift toward a far target: l = 100/1e-4 = 1e6 decades,
+        // and 10^1e6 overflows f64. Before the fix this returned Some(inf).
+        let tr = DriftTrajectory::simple(4.0, 1e-4);
+        assert_eq!(
+            tr.time_to_reach(104.0),
+            None,
+            "overflowed instant must be None"
+        );
+        // The log-domain inverse itself still reports the crossing.
+        assert!(tr.log_time_to_reach(104.0).unwrap() > 0.0);
+        // Boundary: 10^l finite (l ≈ 308) → still Some and finite.
+        let near = DriftTrajectory::simple(4.0, 0.1);
+        let t = near.time_to_reach(34.0).unwrap(); // l = 300 decades
+        assert!(t.is_finite() && t > 0.0);
+        // Just past the representable range → None, not inf.
+        assert_eq!(near.time_to_reach(35.5), None); // l = 315 decades
+    }
+
+    #[test]
+    fn prepared_is_bit_identical_to_source() {
+        // Every trajectory shape: plain, switch-crossing, starts-above,
+        // stalled-below-switch, negative alpha. Compare raw bits.
+        let trs = [
+            DriftTrajectory::simple(4.0, 0.033),
+            DriftTrajectory::simple(4.0, -0.01),
+            DriftTrajectory::simple(4.0, 0.0),
+            DriftTrajectory::with_switch(4.3, 0.02, 4.5, 0.06),
+            DriftTrajectory::with_switch(4.6, 0.02, 4.5, 0.06),
+            DriftTrajectory::with_switch(4.0, 0.0, 4.5, 0.06),
+            DriftTrajectory::with_switch(4.0, -0.02, 4.5, 0.06),
+        ];
+        for tr in &trs {
+            let prep = tr.prepare();
+            for i in 0..2000 {
+                let l = -1.0 + i as f64 * 0.017;
+                assert_eq!(
+                    prep.logr_at_log_time(l).to_bits(),
+                    tr.logr_at_log_time(l).to_bits(),
+                    "{tr:?} at l={l}"
+                );
+            }
+        }
     }
 }

@@ -10,9 +10,13 @@
 //! Codeword layout (coefficient exponents of the code polynomial):
 //! parity bit `j` ↔ x^j, data bit `i` ↔ x^(parity_bits + i).
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use crate::bitvec::BitVec;
 use crate::gf::GfTables;
 use crate::poly::{BinPoly, GfPoly};
+use crate::sliced::{self, SlicedBatch, LANES};
 
 /// Decoding failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,22 +33,40 @@ impl std::fmt::Display for BchError {
 
 impl std::error::Error for BchError {}
 
-/// A t-error-correcting binary BCH code over GF(2^m).
-#[derive(Debug, Clone)]
-pub struct Bch {
-    gf: GfTables,
+/// Per-code immutable tables: the field, the generator polynomial, and
+/// the constant-multiplication bit matrices used by the sliced kernels.
+/// Built once per `(m, t)` and shared process-wide through [`Bch::new`].
+#[derive(Debug)]
+struct BchTables {
+    gf: Arc<GfTables>,
     t: usize,
     n: usize,
     parity_bits: usize,
     generator: BinPoly,
+    /// Chien step matrices: `chien_cols[(k−1)·m + j]` = `α^(n−k) · α^j`,
+    /// the image of basis bit `j` under multiplication by `α^(n−k)`
+    /// (register k's per-position advance), for k = 1..=t.
+    chien_cols: Vec<u32>,
+    /// Frobenius matrix: `sq_cols[b]` = `(α^b)²`, the image of basis bit
+    /// `b` under squaring (derives even syndromes from odd ones).
+    sq_cols: Vec<u32>,
 }
 
-impl Bch {
-    /// Construct the BCH code with designed distance 2t+1 over GF(2^m).
-    pub fn new(m: u32, t: usize) -> Self {
+/// A t-error-correcting binary BCH code over GF(2^m).
+///
+/// Cheap to construct and clone: the heavy tables live in a process-wide
+/// registry keyed by `(m, t)` and are shared across all instances.
+#[derive(Debug, Clone)]
+pub struct Bch {
+    tables: Arc<BchTables>,
+}
+
+impl BchTables {
+    /// Construct the code tables with designed distance 2t+1 over GF(2^m).
+    fn build(m: u32, t: usize) -> Self {
         // pcm-lint: allow(no-panic-lib) — constructor contract: (m, t) are design-table constants; device configs are pre-validated by the builder
         assert!(t >= 1, "BCH needs t >= 1");
-        let gf = GfTables::new(m);
+        let gf = GfTables::shared(m);
         let n = gf.order() as usize;
         // pcm-lint: allow(no-panic-lib) — constructor contract: (m, t) are design-table constants; device configs are pre-validated by the builder
         assert!(2 * t < n, "t = {t} too large for n = {n}");
@@ -88,34 +110,75 @@ impl Bch {
         }
 
         let parity_bits = generator.degree();
+        let chien_cols: Vec<u32> = (1..=t)
+            .flat_map(|k| {
+                let c = gf.alpha_pow((n - k) as u64);
+                (0..m as u64).map(move |j| (c, j))
+            })
+            .map(|(c, j)| gf.mul(c, gf.alpha_pow(j)))
+            .collect();
+        let sq_cols: Vec<u32> = (0..m as u64)
+            .map(|b| {
+                let a = gf.alpha_pow(b);
+                gf.mul(a, a)
+            })
+            .collect();
         Self {
             gf,
             t,
             n,
             parity_bits,
             generator,
+            chien_cols,
+            sq_cols,
         }
+    }
+}
+
+impl Bch {
+    /// Construct the BCH code with designed distance 2t+1 over GF(2^m).
+    ///
+    /// The generator polynomial and the GF log/antilog tables are built at
+    /// most once per `(m, t)` pair; later calls (and clones) share them.
+    pub fn new(m: u32, t: usize) -> Self {
+        type Registry = OnceLock<Mutex<BTreeMap<(u32, usize), Arc<BchTables>>>>;
+        static REGISTRY: Registry = OnceLock::new();
+        let map = REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()));
+        let mut map = map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let tables = map
+            .entry((m, t))
+            .or_insert_with(|| Arc::new(BchTables::build(m, t)))
+            .clone();
+        Self { tables }
     }
 
     /// Designed correction capability t.
     pub fn t(&self) -> usize {
-        self.t
+        self.tables.t
     }
 
     /// Natural (unshortened) code length 2^m − 1.
     pub fn n(&self) -> usize {
-        self.n
+        self.tables.n
     }
 
     /// Number of parity bits (degree of the generator polynomial; m·t when
     /// every designated coset has full size, e.g. 100 for BCH-10 / m=10).
     pub fn parity_bits(&self) -> usize {
-        self.parity_bits
+        self.tables.parity_bits
     }
 
     /// Longest supported message, in bits.
     pub fn max_data_bits(&self) -> usize {
-        self.n - self.parity_bits
+        self.tables.n - self.tables.parity_bits
+    }
+
+    /// The generator polynomial (structural tests).
+    #[cfg(test)]
+    pub(crate) fn generator(&self) -> &BinPoly {
+        &self.tables.generator
     }
 
     /// Systematically encode `data`, returning the parity block
@@ -129,13 +192,14 @@ impl Bch {
             self.max_data_bits()
         );
         // r(x) = (x^p · d(x)) mod g(x).
+        let pb = self.tables.parity_bits;
         let mut shifted = BinPoly::zero();
         for i in data.ones() {
-            shifted.add_shifted(&BinPoly::one(), self.parity_bits + i);
+            shifted.add_shifted(&BinPoly::one(), pb + i);
         }
-        let r = shifted.rem(&self.generator);
-        let mut parity = BitVec::zeros(self.parity_bits);
-        for j in 0..self.parity_bits {
+        let r = shifted.rem(&self.tables.generator);
+        let mut parity = BitVec::zeros(pb);
+        for j in 0..pb {
             if r.coeff(j) {
                 parity.set(j, true);
             }
@@ -149,8 +213,13 @@ impl Bch {
     /// capability *and* this is detectable (the residual syndrome check
     /// catches every miscorrection attempt that leaves the codeword space).
     pub fn decode(&self, data: &mut BitVec, parity: &mut BitVec) -> Result<usize, BchError> {
-        assert_eq!(parity.len(), self.parity_bits, "parity length mismatch");
-        let used_len = self.parity_bits + data.len();
+        // pcm-lint: allow(no-panic-lib) — decode contract: block layouts fix the parity length at construction
+        assert_eq!(
+            parity.len(),
+            self.tables.parity_bits,
+            "parity length mismatch"
+        );
+        let used_len = self.tables.parity_bits + data.len();
 
         let syndromes = self.syndromes(data, parity);
         if syndromes.iter().all(|&s| s == 0) {
@@ -159,16 +228,18 @@ impl Bch {
 
         let sigma = self.berlekamp_massey(&syndromes);
         let errors = sigma.degree();
-        if errors == 0 || errors > self.t {
+        if errors == 0 || errors > self.tables.t {
             return Err(BchError::Uncorrectable);
         }
 
         // Chien search: position e (coefficient exponent) is erroneous iff
         // σ(α^(n−e)) = 0.
+        let gf = &*self.tables.gf;
+        let n = self.tables.n;
         let mut located = Vec::with_capacity(errors);
-        for e in 0..self.n {
-            let x = self.gf.alpha_pow((self.n - e) as u64);
-            if sigma.eval(x, &self.gf) == 0 {
+        for e in 0..n {
+            let x = gf.alpha_pow((n - e) as u64);
+            if sigma.eval(x, gf) == 0 {
                 if e >= used_len {
                     // Error "located" in the shortened (always-zero) region:
                     // the true pattern exceeded t.
@@ -182,11 +253,12 @@ impl Bch {
             return Err(BchError::Uncorrectable);
         }
 
+        let pb = self.tables.parity_bits;
         for &e in &located {
-            if e < self.parity_bits {
+            if e < pb {
                 parity.toggle(e);
             } else {
-                data.toggle(e - self.parity_bits);
+                data.toggle(e - pb);
             }
         }
 
@@ -194,10 +266,10 @@ impl Bch {
         if self.syndromes(data, parity).iter().any(|&s| s != 0) {
             // Roll back and report.
             for &e in &located {
-                if e < self.parity_bits {
+                if e < pb {
                     parity.toggle(e);
                 } else {
-                    data.toggle(e - self.parity_bits);
+                    data.toggle(e - pb);
                 }
             }
             return Err(BchError::Uncorrectable);
@@ -205,19 +277,218 @@ impl Bch {
         Ok(located.len())
     }
 
+    /// Decode a batch of codewords in place, bit-sliced 64 lanes at a time.
+    ///
+    /// Outcome-equivalent to calling [`Bch::decode`] on each
+    /// `(data[i], parity[i])` pair: identical corrected bits and identical
+    /// per-lane `Result`s (the scalar path is the tested oracle). All
+    /// codewords in one call must share the same data length.
+    ///
+    /// Syndromes and Chien search run on position-major bit planes —
+    /// one word-op covers 64 codewords — while Berlekamp–Massey (tiny,
+    /// syndrome-only) stays scalar per lane that actually has errors.
+    pub fn decode_batch(
+        &self,
+        data: &mut [BitVec],
+        parity: &mut [BitVec],
+    ) -> Vec<Result<usize, BchError>> {
+        // pcm-lint: allow(no-panic-lib) — batch contract: data/parity are parallel slices
+        assert_eq!(data.len(), parity.len(), "data/parity batch mismatch");
+        let mut out = Vec::with_capacity(data.len());
+        for (d, p) in data.chunks_mut(LANES).zip(parity.chunks_mut(LANES)) {
+            self.decode_chunk(d, p, &mut out);
+        }
+        out
+    }
+
+    /// Decode one ≤64-lane chunk, appending per-lane results to `out`.
+    fn decode_chunk(
+        &self,
+        data: &mut [BitVec],
+        parity: &mut [BitVec],
+        out: &mut Vec<Result<usize, BchError>>,
+    ) {
+        let tb = &*self.tables;
+        let gf = &*tb.gf;
+        let m = gf.m() as usize;
+        let lanes = data.len();
+        let data_bits = data.first().map_or(0, BitVec::len);
+        for (d, p) in data.iter().zip(parity.iter()) {
+            // pcm-lint: allow(no-panic-lib) — batch contract: uniform block layout across the batch
+            assert_eq!(d.len(), data_bits, "data length mismatch within batch");
+            // pcm-lint: allow(no-panic-lib) — decode contract: block layouts fix the parity length at construction
+            assert_eq!(p.len(), tb.parity_bits, "parity length mismatch");
+        }
+        let used_len = tb.parity_bits + data_bits;
+
+        // Transpose parity‖data codewords into position-major planes.
+        let codewords: Vec<BitVec> = parity
+            .iter()
+            .zip(data.iter())
+            .map(|(p, d)| p.concat(d))
+            .collect();
+        let mut batch = SlicedBatch::from_lanes(&codewords);
+
+        let synd = sliced::syndromes_sliced(gf, tb.t, &tb.sq_cols, batch.planes(), used_len);
+
+        // Lanes with any nonzero syndrome need locating; the rest are clean.
+        let dirty: u64 = synd.iter().fold(0, |acc, &p| acc | p);
+        let lane_mask = if lanes == 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let mut results: Vec<Result<usize, BchError>> = vec![Ok(0); lanes];
+        if dirty & lane_mask == 0 {
+            out.extend_from_slice(&results);
+            return;
+        }
+
+        // Berlekamp–Massey per dirty lane (scalar: the input is 2t field
+        // elements, not the codeword). Lanes whose σ is degenerate fail
+        // immediately and drop out of the Chien sweep.
+        let mut sigmas: Vec<Option<GfPoly>> = vec![None; lanes];
+        let mut alive = 0u64;
+        let mut t_max = 0usize;
+        for l in 0..lanes {
+            if dirty >> l & 1 == 0 {
+                continue;
+            }
+            let s = sliced::extract_lane_syndromes(&synd, m, 2 * tb.t, l);
+            let sigma = self.berlekamp_massey(&s);
+            let deg = sigma.degree();
+            if deg == 0 || deg > tb.t {
+                results[l] = Err(BchError::Uncorrectable);
+            } else {
+                t_max = t_max.max(deg);
+                alive |= 1 << l;
+                sigmas[l] = Some(sigma);
+            }
+        }
+
+        // Sliced Chien sweep over the used positions. Register k holds
+        // σ_k · α^(k(n−e)) for every lane as m bit planes; at each position
+        // the locator value is the XOR of all registers, and a lane has a
+        // root exactly where every plane of that sum is zero. Advancing a
+        // register multiplies all its lanes by the constant α^(n−k) — a
+        // precomputed m×m bit matrix (`chien_cols`). Positions ≥ used_len
+        // are never swept: a lane that has not collected deg(σ) roots by
+        // then is Uncorrectable whether its remaining roots lie in the
+        // shortened region (scalar rejects them) or nowhere (count check).
+        let mut terms = vec![0u64; (t_max + 1) * m];
+        for (l, slot) in sigmas.iter().enumerate().take(lanes) {
+            let Some(sigma) = slot else { continue };
+            for (k, &c) in sigma.coeffs.iter().enumerate() {
+                for b in 0..m {
+                    if c >> b & 1 == 1 {
+                        terms[k * m + b] |= 1 << l;
+                    }
+                }
+            }
+        }
+        let mut located: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+        let mut scratch = [0u64; sliced::MAX_M];
+        for e in 0..used_len {
+            // Locator value = Σ_k term_k, per lane.
+            let sum = &mut scratch[..m];
+            sum.copy_from_slice(&terms[..m]);
+            for k in 1..=t_max {
+                for (b, s) in sum.iter_mut().enumerate() {
+                    *s ^= terms[k * m + b];
+                }
+            }
+            let nonzero = sum.iter().fold(0u64, |acc, &p| acc | p);
+            let mut roots = !nonzero & alive;
+            while roots != 0 {
+                let l = roots.trailing_zeros() as usize;
+                roots &= roots - 1;
+                located[l].push(e);
+                // σ has at most deg roots in the whole field: once a lane
+                // has them all, nothing more can appear — retire it.
+                if located[l].len() == sigmas[l].as_ref().map_or(0, GfPoly::degree) {
+                    alive &= !(1u64 << l);
+                }
+            }
+            if alive == 0 && e + 1 < used_len {
+                break;
+            }
+            // Advance every register by its constant matrix.
+            for k in 1..=t_max {
+                let reg = &terms[k * m..(k + 1) * m];
+                let cols = &tb.chien_cols[(k - 1) * m..k * m];
+                let mut next = [0u64; sliced::MAX_M];
+                for (j, &col) in cols.iter().enumerate() {
+                    let p = reg[j];
+                    if p != 0 {
+                        let mut v = col;
+                        while v != 0 {
+                            let b = v.trailing_zeros() as usize;
+                            next[b] ^= p;
+                            v &= v - 1;
+                        }
+                    }
+                }
+                terms[k * m..(k + 1) * m].copy_from_slice(&next[..m]);
+            }
+        }
+
+        // Apply corrections for lanes whose root count matches deg(σ).
+        let mut corrected = 0u64;
+        for l in 0..lanes {
+            let Some(sigma) = &sigmas[l] else { continue };
+            if located[l].len() != sigma.degree() {
+                results[l] = Err(BchError::Uncorrectable);
+                continue;
+            }
+            for &e in &located[l] {
+                batch.toggle(e, l);
+            }
+            corrected |= 1 << l;
+        }
+
+        // Residual check over the whole chunk at once: every corrected
+        // lane must now be a codeword; roll back the ones that are not.
+        if corrected != 0 {
+            let resid = sliced::syndromes_sliced(gf, tb.t, &tb.sq_cols, batch.planes(), used_len);
+            let bad: u64 = resid.iter().fold(0, |acc, &p| acc | p) & corrected;
+            let mut b = bad;
+            while b != 0 {
+                let l = b.trailing_zeros() as usize;
+                b &= b - 1;
+                for &e in &located[l] {
+                    batch.toggle(e, l);
+                }
+                results[l] = Err(BchError::Uncorrectable);
+                corrected &= !(1u64 << l);
+            }
+            // Slice corrected lanes back into the caller's buffers.
+            let fixed = batch.to_lanes();
+            let mut c = corrected;
+            while c != 0 {
+                let l = c.trailing_zeros() as usize;
+                c &= c - 1;
+                results[l] = Ok(located[l].len());
+                parity[l].copy_range(0, &fixed[l], 0, tb.parity_bits);
+                data[l].copy_range(0, &fixed[l], tb.parity_bits, data_bits);
+            }
+        }
+        out.extend_from_slice(&results);
+    }
+
     /// Syndromes S_1..S_2t of the received word.
     fn syndromes(&self, data: &BitVec, parity: &BitVec) -> Vec<u32> {
-        let mut s = vec![0u32; 2 * self.t];
+        let gf = &*self.tables.gf;
+        let mut s = vec![0u32; 2 * self.tables.t];
         let mut accumulate = |e: usize| {
             for (j, sj) in s.iter_mut().enumerate() {
-                *sj ^= self.gf.alpha_pow(((j + 1) * e) as u64);
+                *sj ^= gf.alpha_pow(((j + 1) * e) as u64);
             }
         };
         for j in parity.ones() {
             accumulate(j);
         }
         for i in data.ones() {
-            accumulate(self.parity_bits + i);
+            accumulate(self.tables.parity_bits + i);
         }
         s
     }
@@ -225,7 +496,7 @@ impl Bch {
     /// Berlekamp–Massey: smallest LFSR (error-locator polynomial σ)
     /// generating the syndrome sequence.
     fn berlekamp_massey(&self, s: &[u32]) -> GfPoly {
-        let gf = &self.gf;
+        let gf = &*self.tables.gf;
         let mut sigma = GfPoly::one();
         let mut prev = GfPoly::one();
         let mut l = 0usize;
@@ -481,8 +752,128 @@ mod tests {
             for i in data.ones() {
                 cw.add_shifted(&BinPoly::one(), bch.parity_bits() + i);
             }
-            assert!(cw.rem(&bch.generator).is_zero(), "seed {seed}");
+            assert!(cw.rem(bch.generator()).is_zero(), "seed {seed}");
         }
+    }
+
+    /// Drive `decode_batch` and scalar `decode` over the same noisy lanes
+    /// and demand identical results AND identical corrected bits.
+    fn assert_batch_matches_scalar(bch: &Bch, data_bits: usize, lanes: Vec<Vec<usize>>, tag: &str) {
+        let clean: Vec<BitVec> = (0..lanes.len())
+            .map(|l| pseudo_data(data_bits, (l as u64 + 1) * 7919))
+            .collect();
+        let clean_parity: Vec<BitVec> = clean.iter().map(|d| bch.encode(d)).collect();
+        let mut batch_d: Vec<BitVec> = Vec::new();
+        let mut batch_p: Vec<BitVec> = Vec::new();
+        let mut scalar_d: Vec<BitVec> = Vec::new();
+        let mut scalar_p: Vec<BitVec> = Vec::new();
+        for (l, flips) in lanes.iter().enumerate() {
+            let (d, p) = noisy(&clean[l], &clean_parity[l], flips);
+            batch_d.push(d.clone());
+            batch_p.push(p.clone());
+            scalar_d.push(d);
+            scalar_p.push(p);
+        }
+        let got = bch.decode_batch(&mut batch_d, &mut batch_p);
+        for l in 0..lanes.len() {
+            let want = bch.decode(&mut scalar_d[l], &mut scalar_p[l]);
+            assert_eq!(got[l], want, "{tag}: lane {l} result diverged");
+            assert_eq!(batch_d[l], scalar_d[l], "{tag}: lane {l} data diverged");
+            assert_eq!(batch_p[l], scalar_p[l], "{tag}: lane {l} parity diverged");
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_at_every_weight_up_to_capacity() {
+        // 64 lanes, error weights 0..=t per lane (cycling), positions
+        // spread across parity, data, and the boundary — for the paper's
+        // BCH-10 code and a smaller t=4 code.
+        for (m, t, bits) in [(10u32, 10usize, 512usize), (10, 4, 512), (8, 3, 120)] {
+            let bch = Bch::new(m, t);
+            let used = bch.parity_bits() + bits;
+            let lanes: Vec<Vec<usize>> = (0..64)
+                .map(|l| {
+                    let w = l % (t + 1);
+                    (0..w)
+                        .map(|i| (l * 131 + i * (used / t.max(1))) % used)
+                        .collect::<Vec<_>>()
+                })
+                .map(|mut v: Vec<usize>| {
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            assert_batch_matches_scalar(&bch, bits, lanes, &format!("m={m} t={t}"));
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_beyond_capacity() {
+        // Lanes carrying t+1 .. 2t+3 errors: the batch decoder must agree
+        // with scalar on every failure (and on any lucky miscorrection).
+        let bch = Bch::new(10, 4);
+        let used = bch.parity_bits() + 512;
+        let lanes: Vec<Vec<usize>> = (0..64)
+            .map(|l| {
+                let w = 5 + l % 7;
+                let mut v: Vec<usize> = (0..w).map(|i| (l * 997 + i * 83 + 7) % used).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        assert_batch_matches_scalar(&bch, 512, lanes, "overweight");
+    }
+
+    #[test]
+    fn batch_handles_partial_and_multi_chunk_batches() {
+        let bch = Bch::new(8, 2);
+        let used = bch.parity_bits() + 120;
+        // 1, 3, 64, and 67 lanes (the last spans two 64-lane chunks).
+        for lanes_n in [1usize, 3, 64, 67] {
+            let lanes: Vec<Vec<usize>> = (0..lanes_n)
+                .map(|l| match l % 3 {
+                    0 => vec![],
+                    1 => vec![l % used],
+                    _ => vec![l % used, (l * 31 + 40) % used],
+                })
+                .map(|mut v| {
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            assert_batch_matches_scalar(&bch, 120, lanes, &format!("lanes={lanes_n}"));
+        }
+    }
+
+    #[test]
+    fn batch_empty_and_all_clean() {
+        let bch = Bch::new(10, 4);
+        assert!(bch.decode_batch(&mut [], &mut []).is_empty());
+        let data: Vec<BitVec> = (0..5).map(|l| pseudo_data(512, l + 1)).collect();
+        let mut parity: Vec<BitVec> = data.iter().map(|d| bch.encode(d)).collect();
+        let mut d = data.clone();
+        let res = bch.decode_batch(&mut d, &mut parity);
+        assert_eq!(res, vec![Ok(0); 5]);
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn codes_share_tables_through_the_registry() {
+        let a = Bch::new(10, 10);
+        let b = Bch::new(10, 10);
+        assert!(
+            Arc::ptr_eq(&a.tables, &b.tables),
+            "same (m, t) must share one table set"
+        );
+        let c = Bch::new(10, 1);
+        assert!(!Arc::ptr_eq(&a.tables, &c.tables));
+        // Distinct codes over the same field still share the GF tables.
+        assert!(Arc::ptr_eq(&a.tables.gf, &c.tables.gf));
+        let cloned = a.clone();
+        assert!(Arc::ptr_eq(&a.tables, &cloned.tables));
     }
 
     #[test]

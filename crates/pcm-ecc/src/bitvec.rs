@@ -131,12 +131,59 @@ impl BitVec {
             .sum()
     }
 
+    /// The backing words, lowest bits first. Bits at positions `>= len`
+    /// (the tail of the last word) are always zero — every mutator
+    /// preserves that invariant.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Build from backing words, keeping exactly `len` bits; tail bits
+    /// beyond `len` are masked off to preserve the zero-tail invariant.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        // pcm-lint: allow(no-panic-lib) — contract: the requested length must fit the supplied words
+        assert!(
+            len <= words.len() * 64,
+            "len {len} > {} bits",
+            words.len() * 64
+        );
+        words.truncate(len.div_ceil(64));
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        Self { len, words }
+    }
+
+    /// Read 64 bits starting at arbitrary position `start`; bits past the
+    /// end read as zero.
+    #[inline]
+    fn read_word(&self, start: usize) -> u64 {
+        let (wi, off) = (start / 64, start % 64);
+        let lo = self.words.get(wi).copied().unwrap_or(0) >> off;
+        if off == 0 {
+            lo
+        } else {
+            lo | self.words.get(wi + 1).copied().unwrap_or(0) << (64 - off)
+        }
+    }
+
     /// Copy `bits` from `other[src..src+bits]` into `self[dst..dst+bits]`.
+    /// Word-wise (one destination word per step), so unaligned copies —
+    /// parity-offset codeword assembly, batch lane splits — stay cheap.
     pub fn copy_range(&mut self, dst: usize, other: &BitVec, src: usize, bits: usize) {
         // pcm-lint: allow(no-panic-lib) — bounds contract, the same failure mode as slice indexing
         assert!(dst + bits <= self.len && src + bits <= other.len);
-        for i in 0..bits {
-            self.set(dst + i, other.get(src + i));
+        let mut done = 0;
+        while done < bits {
+            let d = dst + done;
+            let (wi, off) = (d / 64, d % 64);
+            let n = (64 - off).min(bits - done);
+            let mask = if n == 64 { !0 } else { (1u64 << n) - 1 };
+            let v = other.read_word(src + done) & mask;
+            self.words[wi] = (self.words[wi] & !(mask << off)) | (v << off);
+            done += n;
         }
     }
 
@@ -233,6 +280,44 @@ mod tests {
         assert_eq!(c.len(), 7);
         assert_eq!(c.slice(0, 4), a);
         assert_eq!(c.slice(4, 3), b);
+    }
+
+    #[test]
+    fn copy_range_matches_bitwise_reference() {
+        // The word-wise copy must agree with a bit-at-a-time reference at
+        // every (dst, src, bits) misalignment combination around word
+        // boundaries.
+        let src_v = {
+            let mut v = BitVec::zeros(200);
+            for i in (0..200).step_by(3) {
+                v.set(i, true);
+            }
+            v
+        };
+        for &dst in &[0usize, 1, 63, 64, 65, 100] {
+            for &src in &[0usize, 1, 62, 64, 67] {
+                for &bits in &[0usize, 1, 63, 64, 65, 100] {
+                    let mut fast = BitVec::from_bools(&vec![true; 220]);
+                    let mut slow = fast.clone();
+                    fast.copy_range(dst, &src_v, src, bits);
+                    for i in 0..bits {
+                        slow.set(dst + i, src_v.get(src + i));
+                    }
+                    assert_eq!(fast, slow, "dst={dst} src={src} bits={bits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn words_roundtrip_and_tail_masking() {
+        let v = BitVec::from_bools(&(0..70).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        let back = BitVec::from_words(v.as_words().to_vec(), 70);
+        assert_eq!(back, v);
+        // Dirty tail bits are masked off on construction.
+        let dirty = BitVec::from_words(vec![!0u64, !0u64], 70);
+        assert_eq!(dirty.count_ones(), 70);
+        assert_eq!(dirty.as_words()[1], (1u64 << 6) - 1);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! transient-error codeword with BCH-1 (§6.3). Other field sizes support
 //! the generalization experiments (§8).
 
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 /// A finite field GF(2^m) with precomputed discrete-log tables.
 #[derive(Debug, Clone)]
 pub struct GfTables {
@@ -57,6 +60,22 @@ impl GfTables {
             alog[i as usize] = alog[(i - n) as usize];
         }
         Self { m, n, log, alog }
+    }
+
+    /// Process-wide shared tables for GF(2^m): built once per field on
+    /// first use, then handed out as cheap `Arc` clones. The tables are a
+    /// pure function of `m`, so sharing cannot leak state between codes —
+    /// it only removes the ~16 KiB log/antilog rebuild from every
+    /// constructor call on the hot decode paths.
+    pub fn shared(m: u32) -> Arc<GfTables> {
+        static REGISTRY: OnceLock<Mutex<BTreeMap<u32, Arc<GfTables>>>> = OnceLock::new();
+        let map = REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()));
+        let mut map = map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.entry(m)
+            .or_insert_with(|| Arc::new(GfTables::new(m)))
+            .clone()
     }
 
     /// Field extension degree m.
@@ -141,6 +160,17 @@ mod tests {
                 seen[v as usize] = true;
             }
         }
+    }
+
+    #[test]
+    fn shared_tables_are_cached_per_field() {
+        let a = GfTables::shared(10);
+        let b = GfTables::shared(10);
+        assert!(Arc::ptr_eq(&a, &b), "same field must share one table");
+        let c = GfTables::shared(9);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.order(), 1023);
+        assert_eq!(c.order(), 511);
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub enum StoreError {
     },
     /// The superblock is valid but from an incompatible format version.
     BadVersion(u32),
+    /// An invalid workload configuration (rejected before any device op).
+    Workload(crate::workload::WorkloadError),
 }
 
 impl std::fmt::Display for StoreError {
@@ -60,6 +62,7 @@ impl std::fmt::Display for StoreError {
                 "device has {have} blocks but the store layout needs {needed}"
             ),
             StoreError::BadVersion(v) => write!(f, "unsupported store format version {v}"),
+            StoreError::Workload(e) => write!(f, "invalid workload: {e}"),
         }
     }
 }
@@ -68,8 +71,15 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Device(e) => Some(e),
+            StoreError::Workload(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::workload::WorkloadError> for StoreError {
+    fn from(e: crate::workload::WorkloadError) -> Self {
+        StoreError::Workload(e)
     }
 }
 

@@ -107,6 +107,12 @@ impl WorkloadConfig {
                 max: MAX_VALUE_BYTES,
             });
         }
+        if !self.zipf_theta.is_finite() || !(0.0..1.0).contains(&self.zipf_theta) {
+            return Err(WorkloadError::InvalidTheta {
+                theta: self.zipf_theta,
+            }
+            .into());
+        }
         Ok(())
     }
 }
@@ -173,6 +179,50 @@ pub struct WorkloadReport {
     pub kops_per_model_sec: f64,
 }
 
+/// A workload-configuration error, distinct from store/device failures.
+#[derive(Debug, Clone, Copy)]
+pub enum WorkloadError {
+    /// Zipfian skew outside `[0, 1)`: `theta = 1` is a pole of the Gray
+    /// et al. sampler and values above it need a different formula, so
+    /// rather than silently clamping (the pre-fix behavior, which made a
+    /// configured `zipf_theta = 1.2` quietly run a different
+    /// distribution) the skew is rejected up front.
+    InvalidTheta {
+        /// The rejected skew value.
+        theta: f64,
+    },
+}
+
+// Manual (bit-wise) equality so the carried `f64` — possibly NaN, which
+// is itself an invalid theta — still satisfies `Eq` for error matching.
+impl PartialEq for WorkloadError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                WorkloadError::InvalidTheta { theta: a },
+                WorkloadError::InvalidTheta { theta: b },
+            ) => a.to_bits() == b.to_bits(),
+        }
+    }
+}
+
+impl Eq for WorkloadError {}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::InvalidTheta { theta } => {
+                write!(
+                    f,
+                    "zipfian skew theta = {theta} outside the supported [0, 1)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// The Gray et al. bounded zipfian sampler (as used by YCSB).
 #[derive(Debug, Clone)]
 pub struct Zipfian {
@@ -184,22 +234,26 @@ pub struct Zipfian {
 }
 
 impl Zipfian {
-    /// A sampler over ranks `0..n` with skew `theta` (clamped to
-    /// `[0, 0.9999]`; 1.0 is a pole of the formula).
-    pub fn new(n: u64, theta: f64) -> Zipfian {
+    /// A sampler over ranks `0..n` with skew `theta`, which must lie in
+    /// `[0, 1)` (1.0 is a pole of the formula). Out-of-range or
+    /// non-finite skews are rejected with
+    /// [`WorkloadError::InvalidTheta`], never silently adjusted.
+    pub fn new(n: u64, theta: f64) -> Result<Zipfian, WorkloadError> {
+        if !theta.is_finite() || !(0.0..1.0).contains(&theta) {
+            return Err(WorkloadError::InvalidTheta { theta });
+        }
         let n = n.max(1);
-        let theta = theta.clamp(0.0, 0.9999);
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2.min(n), theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian {
+        Ok(Zipfian {
             n,
             theta,
             alpha,
             zetan,
             eta,
-        }
+        })
     }
 
     /// Map a uniform `u` in `[0, 1)` to a rank in `0..n` (rank 0 is the
@@ -284,7 +338,7 @@ fn run_actor(store: &PcmStore, cfg: &WorkloadConfig, actor: usize) -> Result<OpT
     let mut totals = OpTotals::default();
     let base = actor as u64 * cfg.keys_per_actor;
     let mut rng = Xoshiro256pp::split(cfg.seed, actor as u64);
-    let zipf = Zipfian::new(cfg.keys_per_actor, cfg.zipf_theta);
+    let zipf = Zipfian::new(cfg.keys_per_actor, cfg.zipf_theta)?;
     for k in 0..cfg.keys_per_actor {
         store.put(base + k, &value_for(base + k, cfg.value_bytes))?;
         totals.preload_puts += 1;
@@ -361,7 +415,7 @@ mod tests {
 
     #[test]
     fn zipfian_is_skewed_and_in_range() {
-        let z = Zipfian::new(100, 0.99);
+        let z = Zipfian::new(100, 0.99).unwrap();
         let mut rng = Xoshiro256pp::split(1, 0);
         let mut counts = [0u64; 100];
         for _ in 0..10_000 {
@@ -370,6 +424,34 @@ mod tests {
             counts[r] += 1;
         }
         assert!(counts[0] > counts[50].max(1) * 5, "{:?}", &counts[..5]);
+    }
+
+    #[test]
+    fn invalid_theta_is_rejected_not_clamped() {
+        // The pre-fix clamp silently ran theta 1.2 as 0.9999; now every
+        // out-of-range or non-finite skew is a typed error.
+        for bad in [1.0f64, 1.2, -0.1, f64::NAN, f64::INFINITY] {
+            let err = Zipfian::new(100, bad).unwrap_err();
+            assert_eq!(err, WorkloadError::InvalidTheta { theta: bad }, "{bad}");
+        }
+        // The whole supported range — including what the clamp used to
+        // forbid above 0.9999 — still constructs.
+        for good in [0.0f64, 0.5, 0.99, 0.99995] {
+            assert!(Zipfian::new(100, good).is_ok(), "{good}");
+        }
+        // A misconfigured workload fails up front with the typed error,
+        // before touching the device.
+        let cfg = WorkloadConfig {
+            zipf_theta: 1.2,
+            ..small_cfg()
+        };
+        let store = fresh_store(&WorkloadConfig::default());
+        match run(&store, &cfg, 2) {
+            Err(StoreError::Workload(WorkloadError::InvalidTheta { theta })) => {
+                assert_eq!(theta, 1.2);
+            }
+            other => panic!("expected InvalidTheta, got {other:?}"),
+        }
     }
 
     #[test]

@@ -48,12 +48,16 @@ pub const LIB_CRATES: &[&str] = &[
 ];
 
 /// The crates whose results must be a pure function of the seed.
+/// `pcm-ecc` joined when the bit-sliced batch kernels landed: decode
+/// results feed the determinism gates, so its table registry and batch
+/// paths must stay free of ambient entropy and clocks too.
 pub const DETERMINISM_CRATES: &[&str] = &[
     "pcm-core",
     "pcm-device",
     "pcm-sim",
     "pcm-store",
     "pcm-trace",
+    "pcm-ecc",
 ];
 
 /// The crates that take bank locks.
