@@ -301,8 +301,8 @@ impl ShardedPcmDevice {
     /// The canonical multi-bank acquisition: guards are always taken in
     /// ascending bank-id order, so any two threads locking the same pair
     /// agree on the order and cannot deadlock. Returns the guards in the
-    /// caller's `(a, b)` order. `pcm-lint`'s `lock-discipline` rule flags
-    /// any function holding two or more guards that does not route
+    /// caller's `(a, b)` order. `pcm-lint`'s `lock-order` analysis flags
+    /// any function holding two or more bank guards that does not route
     /// through here.
     fn lock_pair_ordered(
         &self,

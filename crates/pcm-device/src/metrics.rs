@@ -10,6 +10,11 @@
 //! which keeps them fixed-size and mergeable while still resolving the
 //! order-of-magnitude structure of latency distributions.
 //!
+//! Every atomic here is a statistics counter: nothing reads one to
+//! synchronize, so `Relaxed` is correct throughout and the whole
+//! module opts in to the lint's counter class.
+// pcm-lint: atomic-module(counters)
+//!
 //! Counters survive engine conversions
 //! ([`ShardedPcmDevice::into_sequential`](crate::concurrent::ShardedPcmDevice::into_sequential)
 //! and back): the registry is shared via `Arc` and travels with the

@@ -34,6 +34,21 @@ const PRIMITIVE_POLYS: [(u32, u32); 11] = [
     (13, 0b10_0000_0001_1011),
 ];
 
+/// The process-wide GF-table registry: the declared lock wrapper for
+/// the `gf-registry` class (innermost in the workspace lock order —
+/// see DESIGN.md §15). The guard never escapes: the map lock is held
+/// only long enough to clone or insert an `Arc`.
+pub fn gf_registry(m: u32) -> Arc<GfTables> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<u32, Arc<GfTables>>>> = OnceLock::new();
+    let map = REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = map
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    map.entry(m)
+        .or_insert_with(|| Arc::new(GfTables::new(m)))
+        .clone()
+}
+
 impl GfTables {
     /// Build tables for GF(2^m).
     pub fn new(m: u32) -> Self {
@@ -68,14 +83,7 @@ impl GfTables {
     /// it only removes the ~16 KiB log/antilog rebuild from every
     /// constructor call on the hot decode paths.
     pub fn shared(m: u32) -> Arc<GfTables> {
-        static REGISTRY: OnceLock<Mutex<BTreeMap<u32, Arc<GfTables>>>> = OnceLock::new();
-        let map = REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()));
-        let mut map = map
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        map.entry(m)
-            .or_insert_with(|| Arc::new(GfTables::new(m)))
-            .clone()
+        gf_registry(m)
     }
 
     /// Field extension degree m.

@@ -37,6 +37,9 @@ pub fn simulate_matrix(
                 scope.spawn(|| {
                     let mut mine = Vec::new();
                     loop {
+                        // Work-ticket CAS: threads claim disjoint job
+                        // indices; the scope join publishes results.
+                        // pcm-lint: atomic(job-claim)
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&(design, profile)) = jobs.get(i) else {
                             break;

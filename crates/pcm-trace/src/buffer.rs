@@ -118,6 +118,9 @@ impl TraceBuffer {
         // Out-of-range banks fold into the last lane rather than
         // panicking: the recorder sits on hot paths that must not abort.
         let lane = &self.lanes[(ev.bank as usize).min(self.lanes.len() - 1)];
+        // The sequence ticket is a claim counter, not the seqlock word:
+        // slot.version (Release/Acquire below) carries the publication.
+        // pcm-lint: atomic(job-claim)
         let seq = lane.next_seq.fetch_add(1, Ordering::Relaxed);
         let slot = &lane.slots[(seq as usize) % self.capacity];
         // Seqlock write: invalidate, fill, publish. Release on the

@@ -1,0 +1,32 @@
+//! Expected-fail fixture for `atomic-ordering`: a `Relaxed` read of an
+//! inferred seqlock word, a bare unclassified `Relaxed`, and an
+//! ordering that panics at runtime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Slot {
+    version: AtomicU64,
+    dirty: AtomicU64,
+}
+
+impl Slot {
+    pub fn publish(&self, v: u64) {
+        self.version.store(v, Ordering::Release);
+    }
+
+    pub fn read_ok(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    pub fn read_racy(&self) -> u64 {
+        self.version.load(Ordering::Relaxed) //~ atomic-ordering
+    }
+
+    pub fn mark(&self) {
+        self.dirty.store(1, Ordering::Relaxed); //~ atomic-ordering
+    }
+
+    pub fn broken(&self) -> u64 {
+        self.dirty.load(Ordering::Release) //~ atomic-ordering
+    }
+}

@@ -1,0 +1,34 @@
+//! Expected-pass fixture for `atomic-ordering`: annotated counter and
+//! job-claim sites may stay `Relaxed`, and the inferred seqlock word
+//! pairs Release stores with Acquire loads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Slot {
+    version: AtomicU64,
+    payload: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Slot {
+    pub fn publish(&self, v: u64, p: u64) {
+        self.payload.store(p, Ordering::Release);
+        self.version.store(v, Ordering::Release);
+    }
+
+    pub fn read(&self) -> (u64, u64) {
+        let v = self.version.load(Ordering::Acquire);
+        let p = self.payload.load(Ordering::Acquire);
+        (v, p)
+    }
+
+    pub fn hit(&self) -> u64 {
+        // pcm-lint: atomic(counter)
+        self.hits.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+pub fn claim(next: &AtomicU64) -> u64 {
+    // pcm-lint: atomic(job-claim)
+    next.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,36 @@
+//! Expected-fail fixture for `lock-order`: an acquisition against the
+//! declared order, a raw `.lock(` outside any wrapper, and an ad-hoc
+//! two-bank pair that bypasses `lock_pair_ordered`.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct Store {
+    stripe: Mutex<()>,
+    banks: Vec<Mutex<u64>>,
+}
+
+fn lock_stripe(m: &Mutex<()>) -> MutexGuard<'_, ()> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_bank(m: &Mutex<u64>) -> MutexGuard<'_, u64> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Store {
+    pub fn backwards(&self, bank: usize) {
+        let _b = lock_bank(&self.banks[bank]);
+        let _s = lock_stripe(&self.stripe); //~ lock-order
+    }
+
+    pub fn sneaky(&self, bank: usize) -> u64 {
+        *self.banks[bank]
+            .lock() //~ lock-order
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn ad_hoc_pair(&self, a: usize, b: usize) {
+        let _a = lock_bank(&self.banks[a]);
+        let _b = lock_bank(&self.banks[b]); //~ lock-order
+    }
+}

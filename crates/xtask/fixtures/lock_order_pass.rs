@@ -1,0 +1,54 @@
+//! Expected-pass fixture for `lock-order`: every raw `.lock(` lives in
+//! a declared wrapper, acquisitions follow the declared order
+//! `stripe → allocator → bank`, and the two-bank case goes through the
+//! sanctioned `lock_pair_ordered` helper.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct Store {
+    stripe: Mutex<()>,
+    state: Mutex<u64>,
+    banks: Vec<Mutex<u64>>,
+}
+
+fn lock_stripe(m: &Mutex<()>) -> MutexGuard<'_, ()> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_state(m: &Mutex<u64>) -> MutexGuard<'_, u64> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_bank(m: &Mutex<u64>) -> MutexGuard<'_, u64> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Store {
+    fn lock_pair_ordered(&self, a: usize, b: usize) -> (MutexGuard<'_, u64>, MutexGuard<'_, u64>) {
+        let lo = lock_bank(&self.banks[a.min(b)]);
+        let hi = lock_bank(&self.banks[a.max(b)]);
+        if a < b {
+            (lo, hi)
+        } else {
+            (hi, lo)
+        }
+    }
+
+    pub fn put(&self, bank: usize, v: u64) {
+        let _dir = lock_stripe(&self.stripe);
+        let mut free = lock_state(&self.state);
+        *free += 1;
+        *lock_bank(&self.banks[bank]) = v;
+    }
+
+    pub fn transfer(&self, from: usize, to: usize, n: u64) {
+        let (mut a, mut b) = self.lock_pair_ordered(from, to);
+        *a -= n;
+        *b += n;
+    }
+
+    pub fn sum(&self) -> u64 {
+        // One lexical acquisition per iteration, released each time.
+        self.banks.iter().map(|s| *lock_bank(s)).sum()
+    }
+}

@@ -1,34 +1,53 @@
 //! `pcm-lint` — the workspace's in-repo static-analysis pass.
 //!
-//! The last two PRs made hard correctness promises: bit-identical
-//! sharded vs. sequential execution, integer-tick scrub scheduling,
-//! per-bank RNG streams, and library paths that return typed errors
-//! instead of panicking. Nothing in `rustc`/`clippy` enforces those —
-//! they hold only until an edit reintroduces a float tick, an ad-hoc
-//! second lock, or an `unwrap()` in a hot path. This crate machine-checks
+//! Earlier PRs made hard correctness promises: bit-identical sharded
+//! vs. sequential execution, integer-tick scrub scheduling, per-bank
+//! RNG streams, and library paths that return typed errors instead of
+//! panicking. Nothing in `rustc`/`clippy` enforces those — they hold
+//! only until an edit reintroduces a float tick, an ad-hoc second
+//! lock, or an `unwrap()` in a hot path. This crate machine-checks
 //! them:
 //!
-//! * [`rules`] — the invariant catalogue (`no-panic-lib`,
-//!   `no-float-tick`, `no-ambient-nondeterminism`, `lock-discipline`,
+//! * [`rules`] — the per-file invariant catalogue (`no-panic-lib`,
+//!   `no-float-tick`, `no-ambient-nondeterminism`, `atomic-ordering`,
 //!   `no-deprecated-internal`);
+//! * [`lock_order`] — the workspace-level inter-procedural lock-order
+//!   analysis (declared order `stripe → allocator → bank →
+//!   bch-registry → gf-registry`, cycle detection, sanctioned pair
+//!   helper);
+//! * [`model`] — the item/call-graph model the inter-procedural pass
+//!   runs on;
 //! * [`lexer`] — a hand-rolled, dependency-free Rust lexer (the
 //!   hermetic build cannot fetch `syn`);
-//! * [`source`] — test-region / fn-span / allow-comment structure.
+//! * [`source`] — test-region / fn-span / allow-comment structure;
+//! * [`json`] — a minimal JSON reader backing the `--json` schema
+//!   round-trip test.
 //!
 //! Run it as `cargo lint` (alias for `cargo run -p xtask -- lint`).
 //! Suppress a finding with `// pcm-lint: allow(<rule>)` on the same or
-//! the preceding line, plus a one-line justification.
+//! the preceding line, plus a one-line justification; `cargo lint
+//! --audit-allows` re-checks every suppression and fails on stale
+//! ones, so the allow list can only shrink.
 
+pub mod json;
 pub mod lexer;
+pub mod lock_order;
+pub mod model;
 pub mod rules;
 pub mod source;
 pub mod trace_report;
 
+use model::Workspace;
 use source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// The `--json` document schema version. Bump on any breaking change
+/// to the field set (documented in DESIGN.md §15).
+pub const JSON_SCHEMA_VERSION: u32 = 1;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +92,29 @@ impl Diagnostic {
     }
 }
 
+/// A stale (or malformed) `// pcm-lint: allow(…)` suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleAllow {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the allow comment.
+    pub line: u32,
+    /// The rule id the comment names.
+    pub rule: String,
+    /// Why the suppression is stale.
+    pub reason: String,
+}
+
+impl fmt::Display for StaleAllow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: stale allow({}) — {}",
+            self.file, self.line, self.rule, self.reason
+        )
+    }
+}
+
 /// Minimal JSON string escaping.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -92,14 +134,57 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Lint one source string. `rel` is the path reported in diagnostics;
-/// `crate_name` selects which rules apply.
-pub fn lint_source(rel: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
-    let f = SourceFile::parse(rel, crate_name, src);
+/// The stable `--json` lint document (schema in DESIGN.md §15):
+/// `{"schema_version", "tool", "mode": "lint", "count", "diagnostics"}`.
+pub fn json_document(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!(
+        r#"{{"schema_version":{JSON_SCHEMA_VERSION},"tool":"pcm-lint","mode":"lint","count":{},"diagnostics":[{}]}}"#,
+        diags.len(),
+        items.join(",")
+    )
+}
+
+/// The stable `--json` audit document:
+/// `{"schema_version", "tool", "mode": "audit-allows", "allow_count",
+/// "stale_count", "stale"}`.
+pub fn audit_json_document(total_allows: usize, stale: &[StaleAllow]) -> String {
+    let items: Vec<String> = stale
+        .iter()
+        .map(|s| {
+            format!(
+                r#"{{"file":{},"line":{},"rule":{},"reason":{}}}"#,
+                json_str(&s.file),
+                s.line,
+                json_str(&s.rule),
+                json_str(&s.reason)
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"schema_version":{JSON_SCHEMA_VERSION},"tool":"pcm-lint","mode":"audit-allows","allow_count":{total_allows},"stale_count":{},"stale":[{}]}}"#,
+        stale.len(),
+        items.join(",")
+    )
+}
+
+/// Run every per-file rule on `f` without allow filtering.
+fn raw_file_diagnostics(f: &SourceFile) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for rule in rules::all() {
-        rule.check(&f, &mut out);
+        rule.check(f, &mut out);
     }
+    out
+}
+
+/// Lint one source string: per-file rules plus the lock-order analysis
+/// on a single-file workspace. `rel` is the path reported in
+/// diagnostics; `crate_name` selects which rules apply.
+pub fn lint_source(rel: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+    let ws = Workspace::single(SourceFile::parse(rel, crate_name, src));
+    let f = &ws.files[0];
+    let mut out = raw_file_diagnostics(f);
+    lock_order::check(&ws, &mut out);
     out.retain(|d| !f.is_allowed(d.rule, d.line));
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
@@ -201,30 +286,139 @@ fn package_name(manifest: &Path) -> io::Result<Option<String>> {
     Ok(None)
 }
 
-/// Lint every `src/**/*.rs` of every workspace crate. Diagnostics come
-/// back sorted by file, then line.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut out = Vec::new();
+/// A crate's direct `[dependencies]` entries from its manifest
+/// (`pcm-core.workspace = true` / `pcm-core = { … }` forms).
+fn direct_deps(manifest: &Path) -> io::Result<BTreeSet<String>> {
+    let text = match fs::read_to_string(manifest) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
+        Err(e) => return Err(e),
+    };
+    let mut deps = BTreeSet::new();
+    let mut in_deps = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name: String = line
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            deps.insert(name);
+        }
+    }
+    Ok(deps)
+}
+
+/// Parse every lintable file of the workspace into the item model the
+/// inter-procedural analyses run on.
+pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut files = Vec::new();
+    let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for krate in workspace_crates(root)? {
+        deps.insert(
+            krate.name.clone(),
+            direct_deps(&krate.dir.join("Cargo.toml"))?,
+        );
         let src_dir = krate.dir.join("src");
         if !src_dir.is_dir() {
             continue;
         }
-        let mut files = Vec::new();
-        collect_rs_files(&src_dir, &mut files)?;
-        files.sort();
-        for path in files {
+        let mut paths = Vec::new();
+        collect_rs_files(&src_dir, &mut paths)?;
+        paths.sort();
+        for path in paths {
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
             let src = fs::read_to_string(&path)?;
-            out.extend(lint_source(&rel, &krate.name, &src));
+            files.push(SourceFile::parse(&rel, &krate.name, &src));
         }
     }
-    out.sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+    Ok(Workspace::new(files, &deps))
+}
+
+/// All diagnostics for a loaded workspace, *before* allow filtering:
+/// per-file rules on every file plus one lock-order pass over the
+/// whole item model.
+fn raw_workspace_diagnostics(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        out.extend(raw_file_diagnostics(f));
+    }
+    lock_order::check(ws, &mut out);
+    out
+}
+
+/// Lint every `src/**/*.rs` of every workspace crate — per-file rules
+/// plus the workspace-wide lock-order analysis. Diagnostics come back
+/// allow-filtered and sorted by file, then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let ws = load_workspace(root)?;
+    let by_rel: BTreeMap<&str, &SourceFile> =
+        ws.files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    let mut out = raw_workspace_diagnostics(&ws);
+    out.retain(|d| {
+        by_rel
+            .get(d.file.as_str())
+            .is_none_or(|f| !f.is_allowed(d.rule, d.line))
+    });
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
     Ok(out)
+}
+
+/// The suppression audit: re-run every rule with filtering off and
+/// report each `// pcm-lint: allow(<rule>)` whose rule no longer fires
+/// on the line it covers (its own or the one below), plus allows
+/// naming unknown rule ids. Returns `(total_allow_sites, stale)`.
+pub fn audit_allows(root: &Path) -> io::Result<(usize, Vec<StaleAllow>)> {
+    let ws = load_workspace(root)?;
+    let raw = raw_workspace_diagnostics(&ws);
+    let mut fired: BTreeSet<(&str, &str, u32)> = BTreeSet::new();
+    for d in &raw {
+        fired.insert((d.file.as_str(), d.rule, d.line));
+    }
+    let known = rules::known_rule_ids();
+    let mut total = 0usize;
+    let mut stale = Vec::new();
+    for f in &ws.files {
+        for (line, rule) in f.allow_sites() {
+            total += 1;
+            if !known.contains(&rule.as_str()) {
+                stale.push(StaleAllow {
+                    file: f.rel.clone(),
+                    line,
+                    rule,
+                    reason: format!("no rule by that id (known: {})", known.join(", ")),
+                });
+                continue;
+            }
+            // An allow covers its own line and the next one.
+            let live = fired.contains(&(f.rel.as_str(), rule.as_str(), line))
+                || fired.contains(&(f.rel.as_str(), rule.as_str(), line + 1));
+            if !live {
+                stale.push(StaleAllow {
+                    file: f.rel.clone(),
+                    line,
+                    rule,
+                    reason: "the suppressed rule no longer fires here; delete the comment"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    stale.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok((total, stale))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -283,5 +477,44 @@ mod tests {
     fn expected_markers_parse() {
         let src = "fn f() {\n    x.unwrap(); //~ no-panic-lib\n}\n";
         assert_eq!(expected_markers(src), vec![(2, "no-panic-lib".into())]);
+    }
+
+    #[test]
+    fn json_documents_parse_and_carry_the_schema_fields() {
+        let diags = vec![Diagnostic {
+            rule: "no-panic-lib",
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            message: "m".into(),
+            suggestion: "s".into(),
+        }];
+        let doc = json::parse(&json_document(&diags)).expect("valid json");
+        assert_eq!(
+            doc.get("schema_version").and_then(json::Value::as_u64),
+            Some(u64::from(JSON_SCHEMA_VERSION))
+        );
+        assert_eq!(doc.get("mode").and_then(json::Value::as_str), Some("lint"));
+        assert_eq!(doc.get("count").and_then(json::Value::as_u64), Some(1));
+
+        let stale = vec![StaleAllow {
+            file: "a.rs".into(),
+            line: 9,
+            rule: "no-float-tick".into(),
+            reason: "r".into(),
+        }];
+        let doc = json::parse(&audit_json_document(4, &stale)).expect("valid json");
+        assert_eq!(
+            doc.get("mode").and_then(json::Value::as_str),
+            Some("audit-allows")
+        );
+        assert_eq!(
+            doc.get("allow_count").and_then(json::Value::as_u64),
+            Some(4)
+        );
+        assert_eq!(
+            doc.get("stale_count").and_then(json::Value::as_u64),
+            Some(1)
+        );
     }
 }

@@ -1,15 +1,19 @@
 //! Workspace automation driver. Two subcommands:
 //!
 //! ```text
-//! cargo run -p xtask -- lint [--json] [FILE…]
+//! cargo run -p xtask -- lint [--json] [--audit-allows] [FILE…]
 //! cargo run -p xtask -- trace-report [--json] [--top N] <file.jsonl>
 //! ```
 //!
-//! `lint` with no files lints every workspace crate's `src/` and exits
-//! non-zero when any diagnostic is produced. `trace-report` summarizes
-//! a `pcm-trace` JSONL file: per-bank op counts, span-duration
-//! histograms, scrub/demand interleaving, and the longest spans. For
-//! both, `--json` switches to machine-readable output.
+//! `lint` with no files runs the per-file rules plus the workspace
+//! lock-order analysis over every workspace crate's `src/` and exits
+//! non-zero when any diagnostic is produced; `--audit-allows` instead
+//! re-runs every rule with suppression off and fails on any
+//! `// pcm-lint: allow(…)` comment whose rule no longer fires there.
+//! `trace-report` summarizes a `pcm-trace` JSONL file: per-bank op
+//! counts, span-duration histograms, scrub/demand interleaving, and
+//! the longest spans. For both subcommands, `--json` switches to the
+//! stable machine-readable schema documented in DESIGN.md §15.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,15 +36,21 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo run -p xtask -- lint [--json] [FILE…]");
+    eprintln!("usage: cargo run -p xtask -- lint [--json] [--audit-allows] [FILE…]");
     eprintln!("       cargo run -p xtask -- trace-report [--json] [--top N] <file.jsonl>");
     eprintln!();
     eprintln!("rules:");
     for rule in xtask::rules::all() {
         eprintln!("  {:<26} {}", rule.id(), rule.describe());
     }
+    eprintln!(
+        "  {:<26} workspace lock graph vs. declared order {}",
+        xtask::lock_order::RULE,
+        xtask::lock_order::DECLARED_ORDER.join(" -> ")
+    );
     eprintln!();
-    eprintln!("suppress with `// pcm-lint: allow(<rule>)` plus a justification");
+    eprintln!("suppress with `// pcm-lint: allow(<rule>)` plus a justification;");
+    eprintln!("`--audit-allows` fails on suppressions whose rule no longer fires");
 }
 
 /// The workspace root: xtask lives at `<root>/crates/xtask`.
@@ -96,10 +106,12 @@ fn trace_report(args: &[String]) -> ExitCode {
 
 fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
+    let mut audit = false;
     let mut files: Vec<PathBuf> = Vec::new();
     for a in args {
         match a.as_str() {
             "--json" => json = true,
+            "--audit-allows" => audit = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -108,6 +120,13 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
     let root = workspace_root();
+    if audit {
+        if !files.is_empty() {
+            eprintln!("pcm-lint: --audit-allows takes no file arguments");
+            return ExitCode::from(2);
+        }
+        return audit_allows(&root, json);
+    }
     let diags = if files.is_empty() {
         match xtask::lint_workspace(&root) {
             Ok(d) => d,
@@ -135,8 +154,7 @@ fn lint(args: &[String]) -> ExitCode {
     };
 
     if json {
-        let body: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
-        println!("[{}]", body.join(",\n "));
+        println!("{}", xtask::json_document(&diags));
     } else {
         for d in &diags {
             println!("{d}");
@@ -152,6 +170,35 @@ fn lint(args: &[String]) -> ExitCode {
             "pcm-lint: {} diagnostic(s) across {} file(s)",
             diags.len(),
             files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// `cargo lint --audit-allows`: fail (exit 1) when any suppression is
+/// stale, so CI keeps the allow list shrinking monotonically.
+fn audit_allows(root: &Path, json: bool) -> ExitCode {
+    let (total, stale) = match xtask::audit_allows(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pcm-lint: workspace walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", xtask::audit_json_document(total, &stale));
+    } else {
+        for s in &stale {
+            println!("{s}");
+        }
+    }
+    if stale.is_empty() {
+        eprintln!("pcm-lint: all {total} allow suppression(s) are live");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "pcm-lint: {} of {total} allow suppression(s) are stale",
+            stale.len()
         );
         ExitCode::FAILURE
     }

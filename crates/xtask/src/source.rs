@@ -78,6 +78,16 @@ impl SourceFile {
             .any(|l| self.allows.get(l).is_some_and(|s| s.contains(rule)))
     }
 
+    /// Every `pcm-lint: allow(…)` site in this file, as
+    /// `(line, rule)` pairs in line order. The suppression audit walks
+    /// these to find allows that no longer suppress anything.
+    pub fn allow_sites(&self) -> Vec<(u32, String)> {
+        self.allows
+            .iter()
+            .flat_map(|(line, rules)| rules.iter().map(move |r| (*line, r.clone())))
+            .collect()
+    }
+
     /// Convenience: the code token at `i`, if any.
     pub fn tok(&self, i: usize) -> Option<&Token> {
         self.code.get(i)
