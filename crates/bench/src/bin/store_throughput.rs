@@ -12,29 +12,45 @@
 //! costs vary with scheduling — but `"ops"` never does; it is the
 //! determinism gate CI compares across back-to-back invocations.
 //!
+//! After the gate runs, a fourth pass replays the workload phase-by-
+//! phase on a telemetry-enabled store (`run_phased`: slices of ops
+//! interleaved with model-time advances and background scrub), and its
+//! per-bank series summary lands under a separate top-level
+//! `"telemetry"` key — the CI gate's `"ops"`/`"runs"` comparison never
+//! sees it. `--telemetry-out` additionally exports the full series as
+//! the byte-stable JSONL `obs-report` consumes, and `--metrics-out`
+//! dumps the telemetry pass's raw per-bank device counters.
+//!
 //! ```text
 //! store_throughput [--seed N] [--actors N] [--keys N] [--ops N]
 //!                  [--value-bytes N] [--mix a|b|c] [--theta F]
 //!                  [--threads 1,2,8] [--out BENCH_store.json]
+//!                  [--metrics-out FILE] [--telemetry-out FILE]
 //! ```
 //!
 //! Exit status is nonzero if any run fails or if two thread counts
 //! disagree on totals, so CI can gate on it directly.
 
-use pcm_device::DeviceBuilder;
-use pcm_store::workload::{run, Mix, OpTotals, WorkloadConfig, WorkloadReport};
+use pcm_device::{DeviceBuilder, RiskState, TelemetryConfig, TelemetrySnapshot};
+use pcm_store::workload::{
+    run, run_phased, Mix, OpTotals, PhasedConfig, WorkloadConfig, WorkloadReport,
+};
 use pcm_store::{PcmStore, StoreConfig};
 
 struct Args {
     cfg: WorkloadConfig,
     threads: Vec<usize>,
     out: String,
+    metrics_out: Option<String>,
+    telemetry_out: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut cfg = WorkloadConfig::default();
     let mut threads = vec![1usize, 2, 8];
     let mut out = String::from("BENCH_store.json");
+    let mut metrics_out = None;
+    let mut telemetry_out = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -68,6 +84,8 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--out" => out = value(&mut i),
+            "--metrics-out" => metrics_out = Some(value(&mut i)),
+            "--telemetry-out" => telemetry_out = Some(value(&mut i)),
             other => {
                 eprintln!("unknown flag '{other}'");
                 std::process::exit(2);
@@ -75,22 +93,30 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
-    Args { cfg, threads, out }
+    Args {
+        cfg,
+        threads,
+        out,
+        metrics_out,
+        telemetry_out,
+    }
 }
 
-fn fresh_store(cfg: &WorkloadConfig) -> PcmStore {
+fn fresh_store(cfg: &WorkloadConfig, telemetry: Option<TelemetryConfig>) -> PcmStore {
     let store_cfg = StoreConfig {
         dir_buckets: 64,
         stripes: 16,
     };
     let banks = 8;
     let blocks = cfg.required_blocks(&store_cfg).div_ceil(banks) * banks;
-    let dev = DeviceBuilder::new()
+    let mut builder = DeviceBuilder::new()
         .blocks(blocks)
         .banks(banks)
-        .seed(cfg.seed)
-        .build_sharded()
-        .expect("device build");
+        .seed(cfg.seed);
+    if let Some(t) = telemetry {
+        builder = builder.telemetry(t);
+    }
+    let dev = builder.build_sharded().expect("device build");
     PcmStore::format(dev, store_cfg).expect("store format")
 }
 
@@ -106,6 +132,40 @@ fn ops_json(t: &OpTotals) -> String {
         t.misses,
         t.mismatches,
         t.measured_ops()
+    )
+}
+
+/// The phased-replay cadence: eight op slices, each followed by a 25 ms
+/// model-time advance with scrub running behind it. One telemetry
+/// sample per advance (interval = advance), so every bank retains eight
+/// points.
+const TELEMETRY_PHASES: usize = 8;
+const TELEMETRY_ADVANCE_SECS: f64 = 0.025;
+const TELEMETRY_INTERVAL_NS: u64 = 25_000_000;
+const TELEMETRY_SCRUB_SECS: f64 = 0.005;
+
+fn telemetry_json(snap: &TelemetrySnapshot) -> String {
+    let points: usize = snap.per_bank.iter().map(|b| b.points.len()).sum();
+    let dropped: u64 = snap.per_bank.iter().map(|b| b.dropped).sum();
+    let max_ewma = snap
+        .per_bank
+        .iter()
+        .map(|b| b.ewma_permille)
+        .max()
+        .unwrap_or(0);
+    let count = |s: RiskState| snap.per_bank.iter().filter(|b| b.risk == s).count();
+    format!(
+        "{{\"interval_ns\":{},\"banks\":{},\"points\":{},\"dropped\":{},\
+         \"max_ewma_permille\":{},\"risk\":{{\"healthy\":{},\"elevated\":{},\
+         \"critical\":{}}}}}",
+        snap.sample_interval_ns,
+        snap.per_bank.len(),
+        points,
+        dropped,
+        max_ewma,
+        count(RiskState::Healthy),
+        count(RiskState::Elevated),
+        count(RiskState::Critical)
     )
 }
 
@@ -133,7 +193,7 @@ fn main() {
 
     let mut reports = Vec::new();
     for &threads in &args.threads {
-        let store = fresh_store(cfg);
+        let store = fresh_store(cfg, None);
         let report = run(&store, cfg, threads).unwrap_or_else(|e| {
             eprintln!("workload failed at {threads} threads: {e}");
             std::process::exit(1);
@@ -169,11 +229,62 @@ fn main() {
         std::process::exit(1);
     }
 
+    // The observability pass: same workload, phased, on a fresh
+    // telemetry-enabled store. Its totals must still match the gate
+    // runs (the phased runner preserves each actor's op stream); its
+    // series summary rides under a separate top-level key so the CI
+    // `"ops"`/`"runs"` comparison is untouched.
+    let tel_threads = args.threads.iter().copied().max().unwrap_or(1);
+    let store = fresh_store(cfg, Some(TelemetryConfig::new(TELEMETRY_INTERVAL_NS)));
+    let phased = PhasedConfig {
+        phases: TELEMETRY_PHASES,
+        advance_secs: TELEMETRY_ADVANCE_SECS,
+        scrub_interval_secs: Some(TELEMETRY_SCRUB_SECS),
+    };
+    let tel_report = run_phased(&store, cfg, &phased, tel_threads).unwrap_or_else(|e| {
+        eprintln!("telemetry pass failed: {e}");
+        std::process::exit(1);
+    });
+    if tel_report.totals != baseline {
+        eprintln!("DETERMINISM VIOLATION: phased telemetry pass totals diverged");
+        std::process::exit(1);
+    }
+    let snap = store
+        .device()
+        .telemetry()
+        .expect("telemetry enabled on this store")
+        .snapshot();
+    println!(
+        "  telemetry: {} banks x {} points | max drift EWMA {} permille",
+        snap.per_bank.len(),
+        snap.per_bank.first().map_or(0, |b| b.points.len()),
+        snap.per_bank
+            .iter()
+            .map(|b| b.ewma_permille)
+            .max()
+            .unwrap_or(0)
+    );
+    if let Some(path) = &args.telemetry_out {
+        std::fs::write(path, snap.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path} (telemetry series JSONL for obs-report)");
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, store.device().metrics().snapshot().to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path} (per-bank device counters of the telemetry pass)");
+    }
+
     let runs: Vec<String> = reports.iter().map(run_json).collect();
     let doc = format!(
         "{{\n  \"bench\": \"store_throughput\",\n  \"config\": {{\"seed\":{},\"actors\":{},\
          \"keys_per_actor\":{},\"ops_per_actor\":{},\"value_bytes\":{},\"read_pct\":{},\
-         \"zipf_theta\":{}}},\n  \"ops\": {},\n  \"runs\": [\n    {}\n  ]\n}}\n",
+         \"zipf_theta\":{}}},\n  \"ops\": {},\n  \"runs\": [\n    {}\n  ],\n  \
+         \"telemetry\": {}\n}}\n",
         cfg.seed,
         cfg.actors,
         cfg.keys_per_actor,
@@ -182,7 +293,8 @@ fn main() {
         cfg.mix.read_pct,
         cfg.zipf_theta,
         ops_json(&baseline),
-        runs.join(",\n    ")
+        runs.join(",\n    "),
+        telemetry_json(&snap)
     );
     std::fs::write(&args.out, &doc).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", args.out);

@@ -164,12 +164,16 @@ impl PcmBank {
         r
     }
 
-    /// Refresh (scrub) bank-local block `block`: read, correct, rewrite.
-    pub fn refresh(&mut self, block: usize, now: f64) -> Result<(), BlockError> {
-        let data = self.blocks[block].read(&self.array, now)?.data;
-        self.blocks[block].write(&mut self.array, now, &data)?;
+    /// Refresh (scrub) bank-local block `block`: read, correct,
+    /// rewrite. Returns the bits the scrub read corrected — the
+    /// steady-state signal the drift-risk estimator watches.
+    pub fn refresh(&mut self, block: usize, now: f64) -> Result<u64, BlockError> {
+        let rep = self.blocks[block].read(&self.array, now)?;
+        let corrected = rep.corrected_bits as u64;
+        self.blocks[block].write(&mut self.array, now, &rep.data)?;
         self.stats.refreshes += 1;
-        Ok(())
+        self.stats.corrected_bits += corrected;
+        Ok(corrected)
     }
 
     /// Fault-injection hook: force a bank-local cell's lifetime.

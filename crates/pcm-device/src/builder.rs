@@ -26,6 +26,7 @@ use crate::device::{CellOrganization, PcmDevice};
 use crate::generic_block::GenericBlock;
 use crate::metrics::DeviceMetrics;
 use pcm_core::level::LevelDesign;
+use pcm_telemetry::{TelemetryConfig, TelemetryRecorder};
 use pcm_trace::{Recorder, TraceConfig};
 use pcm_wearout::fault::EnduranceModel;
 use std::sync::Arc;
@@ -85,6 +86,7 @@ pub struct DeviceBuilder {
     seed: u64,
     endurance: EnduranceModel,
     trace: Option<TraceConfig>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for DeviceBuilder {
@@ -103,6 +105,7 @@ impl DeviceBuilder {
             seed: 0,
             endurance: EnduranceModel::mlc(),
             trace: None,
+            telemetry: None,
         }
     }
 
@@ -144,6 +147,16 @@ impl DeviceBuilder {
     /// tracing costs one branch per operation.
     pub fn trace(mut self, config: TraceConfig) -> Self {
         self.trace = Some(config);
+        self
+    }
+
+    /// Enable deterministic model-time telemetry: `advance_time` claims
+    /// integer sample ticks and records per-bank counter deltas plus a
+    /// drift-risk estimate into ring-buffered series reachable via
+    /// `telemetry()`. Without this, telemetry costs one `Option` check
+    /// per clock advance.
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
         self
     }
 
@@ -189,15 +202,23 @@ impl DeviceBuilder {
         }
     }
 
+    fn telemetry_recorder(&self) -> Option<Arc<TelemetryRecorder>> {
+        self.telemetry
+            .as_ref()
+            .map(|config| Arc::new(TelemetryRecorder::new(self.banks, config.clone())))
+    }
+
     /// Build the sequential engine.
     pub fn build(self) -> Result<PcmDevice, ConfigError> {
         let metrics = Arc::new(DeviceMetrics::new(self.banks));
         let trace = self.recorder();
+        let telemetry = self.telemetry_recorder();
         Ok(PcmDevice::from_banks(
             self.build_banks()?,
             0.0,
             metrics,
             trace,
+            telemetry,
         ))
     }
 
@@ -207,11 +228,13 @@ impl DeviceBuilder {
     pub fn build_sharded(self) -> Result<ShardedPcmDevice, ConfigError> {
         let metrics = Arc::new(DeviceMetrics::new(self.banks));
         let trace = self.recorder();
+        let telemetry = self.telemetry_recorder();
         Ok(ShardedPcmDevice::from_banks(
             self.build_banks()?,
             0.0,
             metrics,
             trace,
+            telemetry,
         ))
     }
 }

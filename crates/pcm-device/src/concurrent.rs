@@ -45,7 +45,9 @@ use crate::block::{ReadReport, WriteReport, BLOCK_BYTES};
 use crate::device::{DeviceStats, PcmDevice};
 use crate::error::PcmError;
 use crate::metrics::{self, DeviceMetrics};
+use crate::telemetry_hooks;
 use crate::trace_hooks;
+use pcm_telemetry::TelemetryRecorder;
 use pcm_trace::Recorder;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -77,6 +79,7 @@ pub struct ShardedPcmDevice {
     now_bits: AtomicU64,
     metrics: Arc<DeviceMetrics>,
     trace: Recorder,
+    telemetry: Option<Arc<TelemetryRecorder>>,
 }
 
 impl ShardedPcmDevice {
@@ -85,6 +88,7 @@ impl ShardedPcmDevice {
         now: f64,
         metrics: Arc<DeviceMetrics>,
         trace: Recorder,
+        telemetry: Option<Arc<TelemetryRecorder>>,
     ) -> Self {
         debug_assert_eq!(metrics.banks(), banks.len());
         let blocks = banks.iter().map(PcmBank::blocks).sum();
@@ -96,6 +100,7 @@ impl ShardedPcmDevice {
             now_bits: AtomicU64::new(now.to_bits()),
             metrics,
             trace,
+            telemetry,
         }
     }
 
@@ -114,7 +119,7 @@ impl ShardedPcmDevice {
                     .expect("no shard lock can outlive the device")
             })
             .collect();
-        PcmDevice::from_banks(banks, now, self.metrics, self.trace)
+        PcmDevice::from_banks(banks, now, self.metrics, self.trace, self.telemetry)
     }
 
     /// The observability registry: per-bank atomic counters and latency
@@ -132,6 +137,15 @@ impl ShardedPcmDevice {
     /// of the trace determinism oracle.
     pub fn tracer(&self) -> &Recorder {
         &self.trace
+    }
+
+    /// The telemetry recorder: `None` unless the device was built with
+    /// [`DeviceBuilder::telemetry`](crate::builder::DeviceBuilder::telemetry).
+    /// Sample ticks are claimed when [`ShardedPcmDevice::advance_time`]
+    /// crosses a sample deadline; the determinism rule is the same as
+    /// the clock's — advance time only from quiesced points.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryRecorder>> {
+        self.telemetry.as_ref()
     }
 
     /// A handle for issuing operations from one thread. Sessions are
@@ -180,6 +194,12 @@ impl ShardedPcmDevice {
             })
             // pcm-lint: allow(no-panic-lib) — infallible: the closure above always returns Some.
             .expect("fetch_update closure never fails");
+        telemetry_hooks::poll_telemetry(
+            self.telemetry.as_ref(),
+            self.now(),
+            &self.metrics,
+            &self.trace,
+        );
     }
 
     /// Route a global block index to `(shard, local_block)`.
@@ -280,7 +300,7 @@ impl ShardedPcmDevice {
         let mut bank = lock_bank(&self.shards[shard]);
         let r = bank.refresh(local, now).map_err(PcmError::from);
         match &r {
-            Ok(()) => trace_hooks::refresh_event(&self.trace, shard, block, now, Ok(())),
+            Ok(_) => trace_hooks::refresh_event(&self.trace, shard, block, now, Ok(())),
             Err(e) => {
                 if let Some(code) = trace_hooks::pcm_error_code(e) {
                     trace_hooks::refresh_event(&self.trace, shard, block, now, Err(code));
@@ -289,13 +309,13 @@ impl ShardedPcmDevice {
         }
         drop(bank);
         match &r {
-            Ok(()) => self
+            Ok(corrected) => self
                 .metrics
                 .bank(shard)
-                .record_scrub(metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS),
+                .record_scrub(*corrected, metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS),
             Err(_) => self.metrics.bank(shard).record_failure(),
         }
-        r
+        r.map(|_| ())
     }
 
     /// The canonical multi-bank acquisition: guards are always taken in
@@ -458,8 +478,8 @@ impl ShardedPcmDevice {
 
 impl From<PcmDevice> for ShardedPcmDevice {
     fn from(dev: PcmDevice) -> Self {
-        let (banks, now, metrics, trace) = dev.into_banks();
-        Self::from_banks(banks, now, metrics, trace)
+        let (banks, now, metrics, trace, telemetry) = dev.into_banks();
+        Self::from_banks(banks, now, metrics, trace, telemetry)
     }
 }
 

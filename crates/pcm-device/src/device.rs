@@ -18,9 +18,11 @@ use crate::block::{BlockError, ReadReport, WriteReport, BLOCK_BYTES};
 use crate::builder::DeviceBuilder;
 use crate::generic_block::GenericBlock;
 use crate::metrics::{self, DeviceMetrics};
+use crate::telemetry_hooks;
 use crate::trace_hooks;
 use pcm_codec::enumerative::EnumerativeCode;
 use pcm_core::level::LevelDesign;
+use pcm_telemetry::TelemetryRecorder;
 use pcm_trace::Recorder;
 use std::sync::Arc;
 
@@ -111,6 +113,7 @@ pub struct PcmDevice {
     now: f64,
     metrics: Arc<DeviceMetrics>,
     trace: Recorder,
+    telemetry: Option<Arc<TelemetryRecorder>>,
 }
 
 impl PcmDevice {
@@ -124,6 +127,7 @@ impl PcmDevice {
         now: f64,
         metrics: Arc<DeviceMetrics>,
         trace: Recorder,
+        telemetry: Option<Arc<TelemetryRecorder>>,
     ) -> Self {
         debug_assert_eq!(metrics.banks(), banks.len());
         Self {
@@ -131,11 +135,27 @@ impl PcmDevice {
             now,
             metrics,
             trace,
+            telemetry,
         }
     }
 
-    pub(crate) fn into_banks(self) -> (Vec<PcmBank>, f64, Arc<DeviceMetrics>, Recorder) {
-        (self.banks, self.now, self.metrics, self.trace)
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_banks(
+        self,
+    ) -> (
+        Vec<PcmBank>,
+        f64,
+        Arc<DeviceMetrics>,
+        Recorder,
+        Option<Arc<TelemetryRecorder>>,
+    ) {
+        (
+            self.banks,
+            self.now,
+            self.metrics,
+            self.trace,
+            self.telemetry,
+        )
     }
 
     /// The observability registry: per-bank atomic counters and latency
@@ -152,6 +172,14 @@ impl PcmDevice {
     /// engine, like the metrics registry.
     pub fn tracer(&self) -> &Recorder {
         &self.trace
+    }
+
+    /// The telemetry recorder: `None` unless the device was built with
+    /// [`DeviceBuilder::telemetry`](crate::builder::DeviceBuilder::telemetry).
+    /// Shared with (and carried through conversions to) the sharded
+    /// engine, like the metrics registry and the tracer.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryRecorder>> {
+        self.telemetry.as_ref()
     }
 
     /// Capacity in bytes.
@@ -185,6 +213,12 @@ impl PcmDevice {
         // pcm-lint: allow(no-panic-lib) — contract: simulated time is monotone; a negative step is a scheduler bug
         assert!(secs >= 0.0, "time flows forward");
         self.now += secs;
+        telemetry_hooks::poll_telemetry(
+            self.telemetry.as_ref(),
+            self.now,
+            &self.metrics,
+            &self.trace,
+        );
     }
 
     /// Cumulative statistics, aggregated across banks.
@@ -265,10 +299,10 @@ impl PcmDevice {
         let now = self.now;
         let r = self.banks[bank].refresh(local, now);
         match &r {
-            Ok(()) => self
+            Ok(corrected) => self
                 .metrics
                 .bank(bank)
-                .record_scrub(metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS),
+                .record_scrub(*corrected, metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS),
             Err(_) => self.metrics.bank(bank).record_failure(),
         }
         trace_hooks::refresh_event(
@@ -276,9 +310,11 @@ impl PcmDevice {
             bank,
             block,
             now,
-            r.as_ref().map_err(trace_hooks::block_error_code).copied(),
+            r.as_ref()
+                .map(|_| ())
+                .map_err(trace_hooks::block_error_code),
         );
-        r
+        r.map(|_| ())
     }
 
     /// Copy one block's stored data onto another — the wear-leveling

@@ -64,6 +64,7 @@ pub mod metrics;
 pub mod refresh;
 pub mod remap;
 pub mod scrub;
+mod telemetry_hooks;
 mod trace_hooks;
 pub mod wear_level;
 
@@ -82,4 +83,11 @@ pub use scrub::{BankScrubCursor, ScrubScheduler, ShardedScrubber};
 // The tracing vocabulary, re-exported so device users need not depend
 // on pcm-trace directly.
 pub use pcm_trace::{Recorder, TraceConfig, TraceDecodeError};
+pub use telemetry_hooks::telemetry_counters;
 pub use wear_level::{GapMove, StartGap, WearLeveledDevice};
+
+// Telemetry vocabulary, so embedders rarely need a direct
+// `pcm-telemetry` dependency (mirrors the `pcm-trace` re-export above).
+pub use pcm_telemetry::{
+    DriftRiskConfig, RiskState, TelemetryConfig, TelemetryRecorder, TelemetrySnapshot,
+};

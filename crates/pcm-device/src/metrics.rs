@@ -173,6 +173,10 @@ pub struct BankMetrics {
     pub scrubs: AtomicU64,
     /// Symbols corrected by transient-error ECC across all reads.
     pub corrected_symbols: AtomicU64,
+    /// Decodes that corrected at least one symbol (correction *events*,
+    /// as opposed to the symbol total above — drift-risk estimation
+    /// needs both frequency and severity).
+    pub corrections: AtomicU64,
     /// Operations that failed (uncorrectable reads, unverifiable or
     /// wearout-exhausted writes, failed scrubs).
     pub uncorrectables: AtomicU64,
@@ -183,6 +187,9 @@ pub struct BankMetrics {
     pub busy_ns: AtomicU64,
     /// Per-op modeled latency distribution, ns.
     pub latency_ns: LogHistogram,
+    /// Corrected-symbol count per correcting decode (magnitude
+    /// distribution; zero-correction decodes are not recorded).
+    pub correction_magnitude: LogHistogram,
 }
 
 impl BankMetrics {
@@ -194,6 +201,10 @@ impl BankMetrics {
     pub fn record_read(&self, corrected_symbols: u64, busy_ns: u64) {
         Self::add(&self.reads, 1);
         Self::add(&self.corrected_symbols, corrected_symbols);
+        if corrected_symbols > 0 {
+            Self::add(&self.corrections, 1);
+            self.correction_magnitude.record(corrected_symbols);
+        }
         Self::add(&self.busy_ns, busy_ns);
         self.latency_ns.record(busy_ns);
     }
@@ -206,9 +217,17 @@ impl BankMetrics {
         self.latency_ns.record(busy_ns);
     }
 
-    /// Record a completed scrub.
-    pub fn record_scrub(&self, busy_ns: u64) {
+    /// Record a completed scrub. Scrub reads feed the same correction
+    /// accounting as demand reads: drift corrections mostly surface
+    /// during scrub, and the telemetry drift-risk estimator must see
+    /// them.
+    pub fn record_scrub(&self, corrected_symbols: u64, busy_ns: u64) {
         Self::add(&self.scrubs, 1);
+        Self::add(&self.corrected_symbols, corrected_symbols);
+        if corrected_symbols > 0 {
+            Self::add(&self.corrections, 1);
+            self.correction_magnitude.record(corrected_symbols);
+        }
         Self::add(&self.busy_ns, busy_ns);
         self.latency_ns.record(busy_ns);
     }
@@ -225,10 +244,12 @@ impl BankMetrics {
             writes: self.writes.load(Ordering::Relaxed),
             scrubs: self.scrubs.load(Ordering::Relaxed),
             corrected_symbols: self.corrected_symbols.load(Ordering::Relaxed),
+            corrections: self.corrections.load(Ordering::Relaxed),
             uncorrectables: self.uncorrectables.load(Ordering::Relaxed),
             remaps: self.remaps.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
             latency_buckets: self.latency_ns.bucket_counts(),
+            correction_buckets: self.correction_magnitude.bucket_counts(),
         }
     }
 }
@@ -244,6 +265,8 @@ pub struct BankMetricsSnapshot {
     pub scrubs: u64,
     /// ECC-corrected symbols.
     pub corrected_symbols: u64,
+    /// Decodes that corrected at least one symbol.
+    pub corrections: u64,
     /// Failed operations.
     pub uncorrectables: u64,
     /// Newly remapped wearout faults.
@@ -252,6 +275,9 @@ pub struct BankMetricsSnapshot {
     pub busy_ns: u64,
     /// Latency histogram bucket counts ([`HISTOGRAM_BUCKETS`] entries).
     pub latency_buckets: Vec<u64>,
+    /// Correction-magnitude histogram bucket counts
+    /// ([`HISTOGRAM_BUCKETS`] entries).
+    pub correction_buckets: Vec<u64>,
 }
 
 impl BankMetricsSnapshot {
@@ -261,43 +287,55 @@ impl BankMetricsSnapshot {
         self.writes += other.writes;
         self.scrubs += other.scrubs;
         self.corrected_symbols += other.corrected_symbols;
+        self.corrections += other.corrections;
         self.uncorrectables += other.uncorrectables;
         self.remaps += other.remaps;
         self.busy_ns += other.busy_ns;
-        if self.latency_buckets.len() < other.latency_buckets.len() {
-            self.latency_buckets.resize(other.latency_buckets.len(), 0);
+        Self::add_buckets(&mut self.latency_buckets, &other.latency_buckets);
+        Self::add_buckets(&mut self.correction_buckets, &other.correction_buckets);
+    }
+
+    /// Element-wise bucket sum, growing `into` to `from`'s length first
+    /// so no trailing counts are dropped when the lengths differ.
+    fn add_buckets(into: &mut Vec<u64>, from: &[u64]) {
+        if into.len() < from.len() {
+            into.resize(from.len(), 0);
         }
-        for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
+        for (a, b) in into.iter_mut().zip(from) {
             *a += b;
         }
     }
 
     /// The snapshot as one JSON object with a fixed field order (no
-    /// external dependencies). `latency_buckets` is emitted with
-    /// trailing zero buckets trimmed, which keeps lines compact and is
+    /// external dependencies). Bucket arrays are emitted with trailing
+    /// zero buckets trimmed, which keeps lines compact and is
     /// deterministic for a given snapshot.
     pub fn to_jsonl(&self) -> String {
-        let last = self
-            .latency_buckets
-            .iter()
-            .rposition(|&c| c != 0)
-            .map_or(0, |i| i + 1);
-        let buckets: Vec<String> = self.latency_buckets[..last]
-            .iter()
-            .map(|c| c.to_string())
-            .collect();
         format!(
             "{{\"reads\":{},\"writes\":{},\"scrubs\":{},\"corrected_symbols\":{},\
-             \"uncorrectables\":{},\"remaps\":{},\"busy_ns\":{},\"latency_buckets\":[{}]}}",
+             \"corrections\":{},\"uncorrectables\":{},\"remaps\":{},\"busy_ns\":{},\
+             \"latency_buckets\":[{}],\"correction_buckets\":[{}]}}",
             self.reads,
             self.writes,
             self.scrubs,
             self.corrected_symbols,
+            self.corrections,
             self.uncorrectables,
             self.remaps,
             self.busy_ns,
-            buckets.join(",")
+            Self::trimmed_buckets(&self.latency_buckets),
+            Self::trimmed_buckets(&self.correction_buckets)
         )
+    }
+
+    /// Bucket counts as a comma-joined list with trailing zeros trimmed.
+    fn trimmed_buckets(buckets: &[u64]) -> String {
+        let last = buckets.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+        buckets[..last]
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     }
 }
 
@@ -466,6 +504,86 @@ mod tests {
     }
 
     #[test]
+    fn histogram_single_bucket_quantiles_and_merge() {
+        // A series living entirely in one bucket: every quantile is that
+        // bucket's floor, before and after merging in an identical
+        // single-bucket series.
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        for _ in 0..7 {
+            a.record(900); // bucket 10, floor 512
+            b.record(600); // same bucket
+        }
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(a.quantile_floor(q), 512, "q={q}");
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 14);
+        assert_eq!(a.bucket_counts()[10], 14);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(a.quantile_floor(q), 512, "q={q} after merge");
+        }
+    }
+
+    #[test]
+    fn histogram_saturated_top_bucket() {
+        // u64::MAX saturates into the last bucket; quantiles walk off
+        // the top correctly and merges keep the bucket count exact.
+        let h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(h.bucket_counts()[HISTOGRAM_BUCKETS - 1], 2);
+        assert_eq!(h.quantile_floor(0.0), LogHistogram::bucket_floor(1));
+        assert_eq!(
+            h.quantile_floor(1.0),
+            LogHistogram::bucket_floor(HISTOGRAM_BUCKETS - 1)
+        );
+        assert_eq!(h.quantile_floor(1.0), 1u64 << 63);
+        let other = LogHistogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.bucket_counts()[HISTOGRAM_BUCKETS - 1], 3);
+        // Median of {1, MAX, MAX, MAX} sits in the saturated bucket too.
+        assert_eq!(h.quantile_floor(0.5), 1u64 << 63);
+    }
+
+    #[test]
+    fn accumulate_with_unequal_bucket_counts() {
+        // A short (hand-built) bucket vec accumulating a longer one must
+        // grow, and a longer one accumulating a shorter one must keep
+        // its tail — in both orders, for both bucket arrays.
+        let short = BankMetricsSnapshot {
+            reads: 1,
+            latency_buckets: vec![0, 2],
+            correction_buckets: vec![5],
+            ..Default::default()
+        };
+        let long = BankMetricsSnapshot {
+            reads: 10,
+            latency_buckets: vec![1, 1, 0, 7],
+            correction_buckets: vec![0, 0, 0, 0, 0, 3],
+            ..Default::default()
+        };
+        let mut a = short.clone();
+        a.accumulate(&long);
+        assert_eq!(a.reads, 11);
+        assert_eq!(a.latency_buckets, vec![1, 3, 0, 7]);
+        assert_eq!(a.correction_buckets, vec![5, 0, 0, 0, 0, 3]);
+        let mut b = long.clone();
+        b.accumulate(&short);
+        assert_eq!(b.latency_buckets, vec![1, 3, 0, 7]);
+        assert_eq!(b.correction_buckets, vec![5, 0, 0, 0, 0, 3]);
+        // Totals are order-independent.
+        assert_eq!(a.latency_buckets, b.latency_buckets);
+        // Accumulating into an empty default adopts the other's vectors.
+        let mut empty = BankMetricsSnapshot::default();
+        empty.accumulate(&long);
+        assert_eq!(empty, long);
+    }
+
+    #[test]
     fn write_busy_scales_with_attempts() {
         assert_eq!(write_busy_ns(364, 364), WRITE_BUSY_NS);
         assert_eq!(write_busy_ns(728, 364), 2 * WRITE_BUSY_NS);
@@ -479,7 +597,7 @@ mod tests {
         let m = DeviceMetrics::new(4);
         m.bank(0).record_write(2, 1000);
         m.bank(0).record_read(5, 200);
-        m.bank(3).record_scrub(1200);
+        m.bank(3).record_scrub(0, 1200);
         m.bank(3).record_failure();
         let snap = m.snapshot();
         assert_eq!(snap.per_bank.len(), 4);
@@ -532,7 +650,7 @@ mod tests {
                 m.bank(bank).record_write(k as u64, 1000 + 100 * k as u64);
                 m.bank(bank).record_read(1, 200);
             }
-            m.bank(bank).record_scrub(1200);
+            m.bank(bank).record_scrub(0, 1200);
             if bank % 2 == 0 {
                 m.bank(bank).record_failure();
             }
@@ -568,9 +686,16 @@ mod tests {
         assert_eq!(
             line,
             "{\"reads\":0,\"writes\":1,\"scrubs\":0,\"corrected_symbols\":0,\
-             \"uncorrectables\":0,\"remaps\":2,\"busy_ns\":1000,\
-             \"latency_buckets\":[0,0,0,0,0,0,0,0,0,0,1]}"
+             \"corrections\":0,\"uncorrectables\":0,\"remaps\":2,\"busy_ns\":1000,\
+             \"latency_buckets\":[0,0,0,0,0,0,0,0,0,0,1],\"correction_buckets\":[]}"
         );
+        // Bank 1's read corrected 5 symbols: one correction event whose
+        // magnitude lands in bucket 3 (values 4..8).
+        assert_eq!(snap.per_bank[1].corrections, 1);
+        assert_eq!(snap.per_bank[1].correction_buckets[3], 1);
+        assert!(snap.per_bank[1]
+            .to_jsonl()
+            .contains("\"correction_buckets\":[0,0,0,1]"));
         let doc = snap.to_jsonl();
         let lines: Vec<&str> = doc.lines().collect();
         assert_eq!(lines.len(), 3, "two banks + total");

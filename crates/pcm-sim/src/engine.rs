@@ -11,7 +11,7 @@
 
 use crate::config::{DesignPoint, EnergyModel, SimParams};
 use crate::workload::{TraceGenerator, WorkloadProfile};
-use pcm_device::DeviceMetrics;
+use pcm_device::{telemetry_counters, DeviceMetrics, TelemetryRecorder};
 use pcm_trace::{round_ns, OpKind, Recorder, NO_BLOCK};
 use std::collections::VecDeque;
 
@@ -144,6 +144,38 @@ pub fn simulate_ops(
     )
 }
 
+/// [`simulate`] with always-on telemetry: `telemetry` claims its due
+/// sample ticks as engine core time advances (and once more at the end
+/// of the run), turning the engine's per-bank counters into the same
+/// ring-buffered series the functional device exports. Risk transitions
+/// emit into `recorder` (pass `Recorder::disabled()` to skip tracing).
+/// The returned [`SimResult`] is bit-identical to [`simulate`]'s —
+/// telemetry observes the engine, never alters it.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_telemetry(
+    params: &SimParams,
+    energy: &EnergyModel,
+    design: DesignPoint,
+    profile: WorkloadProfile,
+    instructions: u64,
+    seed: u64,
+    telemetry: &TelemetryRecorder,
+    recorder: &Recorder,
+) -> SimResult {
+    let trace = TraceGenerator::new(profile, params.blocks, seed);
+    simulate_ops_inner(
+        params,
+        energy,
+        design,
+        trace,
+        profile.name,
+        instructions,
+        profile.mlp,
+        recorder,
+        Some(telemetry),
+    )
+}
+
 /// [`simulate_ops`] with tracing: every demand read/write and every
 /// refresh emits its modeled timing window into `recorder`, stamped in
 /// engine nanoseconds. End-of-run drain refreshes (counted only for
@@ -158,6 +190,49 @@ pub fn simulate_ops_traced(
     instructions: u64,
     mlp: usize,
     recorder: &Recorder,
+) -> SimResult {
+    simulate_ops_inner(
+        params,
+        energy,
+        design,
+        trace,
+        label,
+        instructions,
+        mlp,
+        recorder,
+        None,
+    )
+}
+
+/// Poll the telemetry recorder at engine time `now_ns` (monotone within
+/// a run). Gated on `due_before` so the counter gather only happens
+/// when a sample tick will actually be claimed.
+fn poll_telemetry(
+    telemetry: Option<&TelemetryRecorder>,
+    now_ns: f64,
+    metrics: &DeviceMetrics,
+    recorder: &Recorder,
+) {
+    let Some(tel) = telemetry else {
+        return;
+    };
+    let t = round_ns(now_ns);
+    if tel.due_before(t) {
+        tel.sample_up_to(t, &telemetry_counters(metrics), recorder);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_ops_inner(
+    params: &SimParams,
+    energy: &EnergyModel,
+    design: DesignPoint,
+    trace: impl IntoIterator<Item = crate::workload::MemOp>,
+    label: impl Into<String>,
+    instructions: u64,
+    mlp: usize,
+    recorder: &Recorder,
+    telemetry: Option<&TelemetryRecorder>,
 ) -> SimResult {
     let mut trace = trace.into_iter();
     let token_period_ns = params.write_window_ns / params.writes_per_window as f64;
@@ -207,7 +282,7 @@ pub fn simulate_ops_traced(
                 bank_free[refresh_bank] = start + params.block_refresh_ns;
                 metrics
                     .bank(refresh_bank)
-                    .record_scrub(params.block_refresh_ns as u64);
+                    .record_scrub(0, params.block_refresh_ns as u64);
                 if recorder.is_enabled() {
                     recorder.span(
                         OpKind::Refresh,
@@ -232,6 +307,11 @@ pub fn simulate_ops_traced(
             refreshes += 1;
             next_refresh += refresh_period_ns;
         }
+
+        // Claim telemetry samples that came due as core time advanced
+        // (after the refresh catch-up, so boundary scrubs land in the
+        // sample that covers them).
+        poll_telemetry(telemetry, core_time, &metrics, recorder);
 
         // Retire completed outstanding operations.
         while outstanding_reads.front().is_some_and(|&f| f <= core_time) {
@@ -318,6 +398,8 @@ pub fn simulate_ops_traced(
         next_refresh += refresh_period_ns;
     }
     exec = exec.max(core_time);
+    // Final poll: series cover the whole run through the drain point.
+    poll_telemetry(telemetry, exec, &metrics, recorder);
 
     SimResult {
         design,
@@ -362,6 +444,48 @@ mod tests {
         let a = run(DesignPoint::FourLcRef, "mcf");
         let b = run(DesignPoint::FourLcRef, "mcf");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn telemetry_observes_without_perturbing() {
+        use pcm_device::TelemetryConfig;
+        let params = SimParams::default();
+        let energy = EnergyModel::default();
+        let profile = WorkloadProfile::by_name("mcf").expect("known workload");
+        let plain = simulate(
+            &params,
+            &energy,
+            DesignPoint::FourLcRef,
+            profile,
+            500_000,
+            7,
+        );
+        // Sample every 10 µs of engine time.
+        let tel = TelemetryRecorder::new(params.banks, TelemetryConfig::new(10_000));
+        let observed = simulate_telemetry(
+            &params,
+            &energy,
+            DesignPoint::FourLcRef,
+            profile,
+            500_000,
+            7,
+            &tel,
+            &Recorder::disabled(),
+        );
+        assert_eq!(observed, plain, "telemetry must not alter the run");
+        let snap = tel.snapshot();
+        assert_eq!(snap.per_bank.len(), params.banks);
+        assert!(
+            snap.per_bank.iter().any(|b| !b.points.is_empty()),
+            "no samples claimed"
+        );
+        // Refresh traffic shows up as scrub counts in some bank's series.
+        let scrubs: u64 = snap
+            .per_bank
+            .iter()
+            .flat_map(|b| b.points.iter().map(|p| p.scrubs))
+            .sum();
+        assert!(scrubs > 0, "refresh ops never reached the series");
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod trace_report;
 pub mod workload;
 
 pub use config::{DesignPoint, EnergyModel, SimParams};
-pub use engine::{simulate, simulate_ops, simulate_ops_traced, simulate_traced, SimResult};
+pub use engine::{
+    simulate, simulate_ops, simulate_ops_traced, simulate_telemetry, simulate_traced, SimResult,
+};
 pub use parallel::{figure16_parallel, simulate_matrix};
 pub use report::{figure16, summary_gains, Figure16Bar};
 pub use trace_file::{FileTrace, TraceParseError};

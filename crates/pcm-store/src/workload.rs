@@ -24,7 +24,7 @@ use crate::error::StoreError;
 use crate::store::{pages_for_value, PcmStore, StoreConfig, MAX_VALUE_BYTES};
 use pcm_core::rng::Xoshiro256pp;
 use pcm_device::metrics::LogHistogram;
-use pcm_device::DeviceMetrics;
+use pcm_device::{DeviceMetrics, ShardedScrubber};
 use std::sync::mpsc;
 
 /// A read/update mix, as a read percentage.
@@ -191,10 +191,19 @@ pub enum WorkloadError {
         /// The rejected skew value.
         theta: f64,
     },
+    /// A phased-run model time that would panic the device clock (a
+    /// negative or non-finite advance) or hang the scrubber (a
+    /// non-positive interval), rejected before any device op runs.
+    InvalidPhaseTime {
+        /// Which [`PhasedConfig`] field was rejected.
+        what: &'static str,
+        /// The rejected value, seconds.
+        secs: f64,
+    },
 }
 
 // Manual (bit-wise) equality so the carried `f64` — possibly NaN, which
-// is itself an invalid theta — still satisfies `Eq` for error matching.
+// is itself an invalid value — still satisfies `Eq` for error matching.
 impl PartialEq for WorkloadError {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
@@ -202,6 +211,11 @@ impl PartialEq for WorkloadError {
                 WorkloadError::InvalidTheta { theta: a },
                 WorkloadError::InvalidTheta { theta: b },
             ) => a.to_bits() == b.to_bits(),
+            (
+                WorkloadError::InvalidPhaseTime { what: wa, secs: a },
+                WorkloadError::InvalidPhaseTime { what: wb, secs: b },
+            ) => wa == wb && a.to_bits() == b.to_bits(),
+            _ => false,
         }
     }
 }
@@ -216,6 +230,9 @@ impl std::fmt::Display for WorkloadError {
                     f,
                     "zipfian skew theta = {theta} outside the supported [0, 1)"
                 )
+            }
+            WorkloadError::InvalidPhaseTime { what, secs } => {
+                write!(f, "phased-run {what} = {secs} is not a usable model time")
             }
         }
     }
@@ -335,18 +352,51 @@ pub fn run(
 
 /// One actor's full run: preload its keyspace, then its measured ops.
 fn run_actor(store: &PcmStore, cfg: &WorkloadConfig, actor: usize) -> Result<OpTotals, StoreError> {
-    let mut totals = OpTotals::default();
-    let base = actor as u64 * cfg.keys_per_actor;
-    let mut rng = Xoshiro256pp::split(cfg.seed, actor as u64);
-    let zipf = Zipfian::new(cfg.keys_per_actor, cfg.zipf_theta)?;
-    for k in 0..cfg.keys_per_actor {
-        store.put(base + k, &value_for(base + k, cfg.value_bytes))?;
-        totals.preload_puts += 1;
+    let mut state = ActorState::new(cfg, actor)?;
+    run_actor_phase(store, cfg, &mut state, true, cfg.ops_per_actor)
+}
+
+/// An actor's resumable position in its op stream: the RNG and sampler
+/// persist across phased-run slices, so an actor's full sequence of ops
+/// is identical whether it runs in one slice or many — the phased
+/// runner's determinism invariant reduces to `run`'s.
+struct ActorState {
+    actor: usize,
+    rng: Xoshiro256pp,
+    zipf: Zipfian,
+}
+
+impl ActorState {
+    fn new(cfg: &WorkloadConfig, actor: usize) -> Result<ActorState, StoreError> {
+        Ok(ActorState {
+            actor,
+            rng: Xoshiro256pp::split(cfg.seed, actor as u64),
+            zipf: Zipfian::new(cfg.keys_per_actor, cfg.zipf_theta)?,
+        })
     }
-    for _ in 0..cfg.ops_per_actor {
-        let rank = zipf.sample(rng.next_f64());
+}
+
+/// One slice of an actor's stream: optional preload, then `ops`
+/// measured ops continuing from wherever the state left off.
+fn run_actor_phase(
+    store: &PcmStore,
+    cfg: &WorkloadConfig,
+    state: &mut ActorState,
+    preload: bool,
+    ops: u64,
+) -> Result<OpTotals, StoreError> {
+    let mut totals = OpTotals::default();
+    let base = state.actor as u64 * cfg.keys_per_actor;
+    if preload {
+        for k in 0..cfg.keys_per_actor {
+            store.put(base + k, &value_for(base + k, cfg.value_bytes))?;
+            totals.preload_puts += 1;
+        }
+    }
+    for _ in 0..ops {
+        let rank = state.zipf.sample(state.rng.next_f64());
         let key = base + rank;
-        if rng.next_bounded(100) < cfg.mix.read_pct as u64 {
+        if state.rng.next_bounded(100) < cfg.mix.read_pct as u64 {
             totals.gets += 1;
             match store.get(key)? {
                 Some(v) if v == value_for(key, cfg.value_bytes) => totals.hits += 1,
@@ -359,6 +409,153 @@ fn run_actor(store: &PcmStore, cfg: &WorkloadConfig, actor: usize) -> Result<OpT
         }
     }
     Ok(totals)
+}
+
+/// Quiesce actions a single driver performs between phased-run slices.
+///
+/// Model time in the closed-loop runner otherwise never moves: `run`
+/// finishes with the device clock where it started, so drift, scrub,
+/// and telemetry sampling all see one frozen instant. A phased run
+/// splits each actor's measured ops into `phases` equal slices and has
+/// exactly one thread — after every slice, with all actors quiesced —
+/// advance the clock and run the scrub ticks that became due. The
+/// interleaving of device ops and clock motion is thereby a pure
+/// function of the configuration, never of thread scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedConfig {
+    /// Equal slices to split `ops_per_actor` into (min 1).
+    pub phases: usize,
+    /// Model seconds the driver advances the clock after each slice
+    /// (telemetry sample ticks are claimed inside the advance).
+    pub advance_secs: f64,
+    /// When set, a [`ShardedScrubber`] with this full-device interval
+    /// runs every newly due scrub tick after each advance.
+    pub scrub_interval_secs: Option<f64>,
+}
+
+impl Default for PhasedConfig {
+    fn default() -> Self {
+        PhasedConfig {
+            phases: 4,
+            advance_secs: 0.05,
+            scrub_interval_secs: None,
+        }
+    }
+}
+
+fn check_phase_time(what: &'static str, secs: f64, allow_zero: bool) -> Result<(), StoreError> {
+    let ok = secs.is_finite() && if allow_zero { secs >= 0.0 } else { secs > 0.0 };
+    if ok {
+        Ok(())
+    } else {
+        Err(WorkloadError::InvalidPhaseTime { what, secs }.into())
+    }
+}
+
+/// Run `cfg` in [`PhasedConfig::phases`] quiesced slices, advancing the
+/// device clock (and optionally scrubbing) between them. Op totals are
+/// thread-count invariant exactly as for [`run`]; with telemetry
+/// enabled on the device, the exported series are byte-identical across
+/// thread counts too, because the clock only moves at quiesced points.
+pub fn run_phased(
+    store: &PcmStore,
+    cfg: &WorkloadConfig,
+    phased: &PhasedConfig,
+    threads: usize,
+) -> Result<WorkloadReport, StoreError> {
+    cfg.validate()?;
+    check_phase_time("advance_secs", phased.advance_secs, true)?;
+    if let Some(secs) = phased.scrub_interval_secs {
+        check_phase_time("scrub_interval_secs", secs, false)?;
+    }
+    let threads = threads.max(1);
+    let phases = phased.phases.max(1) as u64;
+    let mut totals = OpTotals::default();
+    let mut states: Vec<Option<ActorState>> = Vec::with_capacity(cfg.actors);
+    for actor in 0..cfg.actors {
+        states.push(Some(ActorState::new(cfg, actor)?));
+    }
+    let mut scrubber = phased
+        .scrub_interval_secs
+        .map(|secs| ShardedScrubber::new(store.device(), secs));
+    for phase in 0..phases {
+        // Integer slice boundaries: slice sizes depend only on the
+        // configuration, and the remainder spreads over late phases.
+        let start = phase * cfg.ops_per_actor / phases;
+        let end = (phase + 1) * cfg.ops_per_actor / phases;
+        run_slice(
+            store,
+            cfg,
+            &mut states,
+            &mut totals,
+            threads,
+            phase == 0,
+            end - start,
+        )?;
+        // All actors have returned: one driver moves the clock (the
+        // telemetry recorder claims its due sample ticks inside) and
+        // scrubs what the advance made due.
+        let dev = store.device();
+        dev.advance_time(phased.advance_secs);
+        if let Some(s) = scrubber.as_mut() {
+            s.run_until(dev, dev.now());
+        }
+    }
+    Ok(report_from(store.device().metrics(), threads, totals))
+}
+
+/// Run one slice of every actor, multiplexed round-robin onto
+/// `threads` OS threads (the same actor-to-thread mapping as [`run`]).
+/// States travel into the worker threads and come back through the
+/// result channel, so no lock guards them.
+fn run_slice(
+    store: &PcmStore,
+    cfg: &WorkloadConfig,
+    states: &mut [Option<ActorState>],
+    totals: &mut OpTotals,
+    threads: usize,
+    preload: bool,
+    ops: u64,
+) -> Result<(), StoreError> {
+    let (tx, rx) = mpsc::channel::<Result<(ActorState, OpTotals), StoreError>>();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let tx = tx.clone();
+            let mine: Vec<ActorState> = states
+                .iter_mut()
+                .skip(t)
+                .step_by(threads)
+                .filter_map(Option::take)
+                .collect();
+            s.spawn(move || {
+                for mut state in mine {
+                    let r = run_actor_phase(store, cfg, &mut state, preload, ops);
+                    let failed = r.is_err();
+                    if tx.send(r.map(|tot| (state, tot))).is_err() || failed {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(tx);
+    });
+    let mut first_err = None;
+    for r in rx.iter() {
+        match r {
+            Ok((state, tot)) => {
+                totals.add(&tot);
+                let actor = state.actor;
+                states[actor] = Some(state);
+            }
+            Err(e) => {
+                first_err = first_err.or(Some(e));
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 fn report_from(metrics: &DeviceMetrics, threads: usize, totals: OpTotals) -> WorkloadReport {
@@ -490,6 +687,79 @@ mod tests {
         );
         assert!(report.p50_ns > 0);
         assert!(report.busy_ns > 0);
+    }
+
+    #[test]
+    fn phased_totals_match_unphased_and_are_thread_invariant() {
+        let cfg = small_cfg();
+        let store = fresh_store(&cfg);
+        let flat = run(&store, &cfg, 2).unwrap().totals;
+        let phased = PhasedConfig {
+            phases: 3, // 50 ops/actor split 16/17/17
+            advance_secs: 0.01,
+            scrub_interval_secs: None,
+        };
+        let mut baseline = None;
+        for threads in [1usize, 2, 8] {
+            let store = fresh_store(&cfg);
+            let report = run_phased(&store, &cfg, &phased, threads).unwrap();
+            assert_eq!(report.totals, flat, "phasing changed the op stream");
+            assert!(store.device().now() > 0.0, "driver advanced the clock");
+            match &baseline {
+                None => baseline = Some(report.totals),
+                Some(b) => assert_eq!(*b, report.totals, "{threads} threads diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn phased_scrub_runs_between_slices() {
+        let cfg = small_cfg();
+        let store = fresh_store(&cfg);
+        let phased = PhasedConfig {
+            phases: 4,
+            advance_secs: 0.5,
+            // Full-device pass every second: two slices' advances make
+            // a pass due.
+            scrub_interval_secs: Some(1.0),
+        };
+        run_phased(&store, &cfg, &phased, 2).unwrap();
+        let scrubs: u64 = store
+            .device()
+            .metrics()
+            .snapshot()
+            .per_bank
+            .iter()
+            .map(|b| b.scrubs)
+            .sum();
+        assert!(scrubs > 0, "no scrub ticks ran");
+    }
+
+    #[test]
+    fn phased_rejects_bad_model_times() {
+        let cfg = small_cfg();
+        let store = fresh_store(&cfg);
+        let bad_advance = PhasedConfig {
+            advance_secs: -1.0,
+            ..PhasedConfig::default()
+        };
+        match run_phased(&store, &cfg, &bad_advance, 1) {
+            Err(StoreError::Workload(WorkloadError::InvalidPhaseTime { what, secs })) => {
+                assert_eq!(what, "advance_secs");
+                assert_eq!(secs, -1.0);
+            }
+            other => panic!("expected InvalidPhaseTime, got {other:?}"),
+        }
+        let bad_scrub = PhasedConfig {
+            scrub_interval_secs: Some(0.0),
+            ..PhasedConfig::default()
+        };
+        match run_phased(&store, &cfg, &bad_scrub, 1) {
+            Err(StoreError::Workload(WorkloadError::InvalidPhaseTime { what, .. })) => {
+                assert_eq!(what, "scrub_interval_secs");
+            }
+            other => panic!("expected InvalidPhaseTime, got {other:?}"),
+        }
     }
 
     #[test]

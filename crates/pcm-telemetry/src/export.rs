@@ -1,0 +1,470 @@
+//! Snapshot types and exporters: byte-stable JSONL (the `obs-report`
+//! input and the determinism oracle's comparand), a strict JSONL
+//! parser, and a Prometheus-style text rendering.
+//!
+//! The JSONL schema is line-oriented with a fixed field order:
+//!
+//! ```text
+//! {"telemetry":1,"banks":B,"interval_ns":I,"capacity":C}
+//! {"bank":0,"dropped":D,"ewma_permille":E,"risk":"healthy","points":K}
+//! {"bank":0,"tick":1,"t_ns":…,"reads":…,…,"risk":"healthy"}   × K
+//! …one summary + K point lines per bank, in bank order…
+//! ```
+//!
+//! Export is a pure function of the snapshot, so byte-identical
+//! snapshots produce byte-identical documents — which is exactly what
+//! `tests/telemetry_determinism.rs` compares across engines and thread
+//! counts.
+
+use crate::risk::RiskState;
+use crate::series::SamplePoint;
+
+/// One bank's retained series plus its end-of-run risk summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankSeriesSnapshot {
+    /// Bank id.
+    pub bank: u32,
+    /// Samples lost to ring wrap.
+    pub dropped: u64,
+    /// Final EWMA, permille of budget.
+    pub ewma_permille: u64,
+    /// Final risk classification.
+    pub risk: RiskState,
+    /// Retained points, oldest first.
+    pub points: Vec<SamplePoint>,
+}
+
+/// A point-in-time copy of the whole telemetry layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Model nanoseconds between samples.
+    pub sample_interval_ns: u64,
+    /// Ring capacity per bank.
+    pub capacity: usize,
+    /// Per-bank series, indexed by bank id.
+    pub per_bank: Vec<BankSeriesSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// The snapshot as JSONL (see module docs for the schema).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"telemetry\":1,\"banks\":{},\"interval_ns\":{},\"capacity\":{}}}\n",
+            self.per_bank.len(),
+            self.sample_interval_ns,
+            self.capacity
+        ));
+        for bank in &self.per_bank {
+            out.push_str(&format!(
+                "{{\"bank\":{},\"dropped\":{},\"ewma_permille\":{},\"risk\":\"{}\",\
+                 \"points\":{}}}\n",
+                bank.bank,
+                bank.dropped,
+                bank.ewma_permille,
+                bank.risk.name(),
+                bank.points.len()
+            ));
+            for p in &bank.points {
+                out.push_str(&format!(
+                    "{{\"bank\":{},\"tick\":{},\"t_ns\":{},\"reads\":{},\"writes\":{},\
+                     \"scrubs\":{},\"corrected_symbols\":{},\"corrections\":{},\
+                     \"uncorrectables\":{},\"remaps\":{},\"busy_ns\":{},\"p50_ns\":{},\
+                     \"p99_ns\":{},\"ewma_permille\":{},\"risk\":\"{}\"}}\n",
+                    bank.bank,
+                    p.tick,
+                    p.t_ns,
+                    p.reads,
+                    p.writes,
+                    p.scrubs,
+                    p.corrected_symbols,
+                    p.corrections,
+                    p.uncorrectables,
+                    p.remaps,
+                    p.busy_ns,
+                    p.p50_ns,
+                    p.p99_ns,
+                    p.ewma_permille,
+                    p.risk.name()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Prometheus-style text exposition of the latest state: one gauge
+    /// sample per bank per metric, stamped from each bank's most recent
+    /// point. Deterministic: fixed metric order, banks ascending.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let gauge = |out: &mut String, name: &str, help: &str| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        };
+        gauge(
+            &mut out,
+            "pcm_bank_reads_per_interval",
+            "Reads in the most recent sample interval",
+        );
+        for b in &self.per_bank {
+            let v = b.points.last().map_or(0, |p| p.reads);
+            out.push_str(&format!(
+                "pcm_bank_reads_per_interval{{bank=\"{}\"}} {v}\n",
+                b.bank
+            ));
+        }
+        gauge(
+            &mut out,
+            "pcm_bank_writes_per_interval",
+            "Writes in the most recent sample interval",
+        );
+        for b in &self.per_bank {
+            let v = b.points.last().map_or(0, |p| p.writes);
+            out.push_str(&format!(
+                "pcm_bank_writes_per_interval{{bank=\"{}\"}} {v}\n",
+                b.bank
+            ));
+        }
+        gauge(
+            &mut out,
+            "pcm_bank_scrubs_per_interval",
+            "Scrubs in the most recent sample interval",
+        );
+        for b in &self.per_bank {
+            let v = b.points.last().map_or(0, |p| p.scrubs);
+            out.push_str(&format!(
+                "pcm_bank_scrubs_per_interval{{bank=\"{}\"}} {v}\n",
+                b.bank
+            ));
+        }
+        gauge(
+            &mut out,
+            "pcm_bank_utilization_permille",
+            "Busy time in the most recent interval, permille",
+        );
+        for b in &self.per_bank {
+            let v = b
+                .points
+                .last()
+                .map_or(0, |p| p.utilization_permille(self.sample_interval_ns));
+            out.push_str(&format!(
+                "pcm_bank_utilization_permille{{bank=\"{}\"}} {v}\n",
+                b.bank
+            ));
+        }
+        gauge(
+            &mut out,
+            "pcm_bank_p99_latency_ns",
+            "p99 modeled op latency floor, ns",
+        );
+        for b in &self.per_bank {
+            let v = b.points.last().map_or(0, |p| p.p99_ns);
+            out.push_str(&format!(
+                "pcm_bank_p99_latency_ns{{bank=\"{}\"}} {v}\n",
+                b.bank
+            ));
+        }
+        gauge(
+            &mut out,
+            "pcm_bank_drift_ewma_permille",
+            "Drift-risk EWMA, permille of correction budget",
+        );
+        for b in &self.per_bank {
+            out.push_str(&format!(
+                "pcm_bank_drift_ewma_permille{{bank=\"{}\"}} {}\n",
+                b.bank, b.ewma_permille
+            ));
+        }
+        gauge(
+            &mut out,
+            "pcm_bank_risk_state",
+            "Risk classification (0 healthy, 1 elevated, 2 critical)",
+        );
+        for b in &self.per_bank {
+            out.push_str(&format!(
+                "pcm_bank_risk_state{{bank=\"{}\"}} {}\n",
+                b.bank,
+                b.risk.code()
+            ));
+        }
+        gauge(
+            &mut out,
+            "pcm_bank_samples_dropped_total",
+            "Samples lost to ring wrap",
+        );
+        for b in &self.per_bank {
+            out.push_str(&format!(
+                "pcm_bank_samples_dropped_total{{bank=\"{}\"}} {}\n",
+                b.bank, b.dropped
+            ));
+        }
+        out
+    }
+}
+
+/// Why a telemetry JSONL document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryDecodeError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TelemetryDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TelemetryDecodeError {}
+
+/// A strict cursor over one exported line: fields must appear in the
+/// exact order the exporter writes them.
+struct LineCursor<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> LineCursor<'a> {
+    fn new(text: &'a str, line: usize) -> Result<Self, TelemetryDecodeError> {
+        let rest = text
+            .strip_prefix('{')
+            .ok_or_else(|| err(line, "expected `{`"))?;
+        Ok(Self { rest, line })
+    }
+
+    fn key(&mut self, key: &str) -> Result<(), TelemetryDecodeError> {
+        let want = format!("\"{key}\":");
+        self.rest = self
+            .rest
+            .strip_prefix(&want)
+            .ok_or_else(|| err(self.line, format!("expected key `{key}`")))?;
+        Ok(())
+    }
+
+    fn u64_field(&mut self, name: &str) -> Result<u64, TelemetryDecodeError> {
+        self.key(name)?;
+        let end = self
+            .rest
+            .find([',', '}'])
+            .ok_or_else(|| err(self.line, "unterminated number"))?;
+        let (num, rest) = self.rest.split_at(end);
+        let value = num
+            .parse::<u64>()
+            .map_err(|_| err(self.line, format!("bad integer for `{name}`: `{num}`")))?;
+        self.rest = rest.trim_start_matches(',');
+        Ok(value)
+    }
+
+    fn str_field(&mut self, name: &str) -> Result<&'a str, TelemetryDecodeError> {
+        self.key(name)?;
+        let body = self
+            .rest
+            .strip_prefix('"')
+            .ok_or_else(|| err(self.line, "expected string"))?;
+        let end = body
+            .find('"')
+            .ok_or_else(|| err(self.line, "unterminated string"))?;
+        let (value, rest) = body.split_at(end);
+        self.rest = rest[1..].trim_start_matches(',');
+        Ok(value)
+    }
+}
+
+fn err(line: usize, reason: impl Into<String>) -> TelemetryDecodeError {
+    TelemetryDecodeError {
+        line,
+        reason: reason.into(),
+    }
+}
+
+/// Parse a document produced by [`TelemetrySnapshot::to_jsonl`].
+pub fn parse(text: &str) -> Result<TelemetrySnapshot, TelemetryDecodeError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or_else(|| err(1, "empty document"))?;
+    let mut c = LineCursor::new(header, 1)?;
+    let version = c.u64_field("telemetry")?;
+    if version != 1 {
+        return Err(err(1, format!("unsupported telemetry version {version}")));
+    }
+    let banks = c.u64_field("banks")?;
+    let interval_ns = c.u64_field("interval_ns")?;
+    let capacity = c.u64_field("capacity")?;
+    let mut snap = TelemetrySnapshot {
+        sample_interval_ns: interval_ns,
+        capacity: capacity as usize,
+        per_bank: Vec::with_capacity(banks as usize),
+    };
+    for want_bank in 0..banks {
+        let (ix, line) = lines
+            .next()
+            .ok_or_else(|| err(0, format!("missing summary line for bank {want_bank}")))?;
+        let mut c = LineCursor::new(line, ix + 1)?;
+        let bank = c.u64_field("bank")?;
+        if bank != want_bank {
+            return Err(err(
+                ix + 1,
+                format!("expected bank {want_bank}, got {bank}"),
+            ));
+        }
+        let dropped = c.u64_field("dropped")?;
+        let ewma_permille = c.u64_field("ewma_permille")?;
+        let risk_name = c.str_field("risk")?;
+        let risk = RiskState::from_name(risk_name)
+            .ok_or_else(|| err(ix + 1, format!("unknown risk state `{risk_name}`")))?;
+        let points = c.u64_field("points")?;
+        let mut series = BankSeriesSnapshot {
+            bank: bank as u32,
+            dropped,
+            ewma_permille,
+            risk,
+            points: Vec::with_capacity(points as usize),
+        };
+        for _ in 0..points {
+            let (ix, line) = lines
+                .next()
+                .ok_or_else(|| err(0, format!("missing point line for bank {bank}")))?;
+            let mut c = LineCursor::new(line, ix + 1)?;
+            let point_bank = c.u64_field("bank")?;
+            if point_bank != bank {
+                return Err(err(ix + 1, format!("point bank {point_bank} ≠ {bank}")));
+            }
+            let tick = c.u64_field("tick")?;
+            let t_ns = c.u64_field("t_ns")?;
+            let reads = c.u64_field("reads")?;
+            let writes = c.u64_field("writes")?;
+            let scrubs = c.u64_field("scrubs")?;
+            let corrected_symbols = c.u64_field("corrected_symbols")?;
+            let corrections = c.u64_field("corrections")?;
+            let uncorrectables = c.u64_field("uncorrectables")?;
+            let remaps = c.u64_field("remaps")?;
+            let busy_ns = c.u64_field("busy_ns")?;
+            let p50_ns = c.u64_field("p50_ns")?;
+            let p99_ns = c.u64_field("p99_ns")?;
+            let ewma_permille = c.u64_field("ewma_permille")?;
+            let risk_name = c.str_field("risk")?;
+            let risk = RiskState::from_name(risk_name)
+                .ok_or_else(|| err(ix + 1, format!("unknown risk state `{risk_name}`")))?;
+            series.points.push(SamplePoint {
+                tick,
+                t_ns,
+                reads,
+                writes,
+                scrubs,
+                corrected_symbols,
+                corrections,
+                uncorrectables,
+                remaps,
+                busy_ns,
+                p50_ns,
+                p99_ns,
+                ewma_permille,
+                risk,
+            });
+        }
+        snap.per_bank.push(series);
+    }
+    if let Some((ix, line)) = lines.next() {
+        if !line.trim().is_empty() {
+            return Err(err(ix + 1, "trailing content after last bank"));
+        }
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            sample_interval_ns: 1000,
+            capacity: 8,
+            per_bank: vec![
+                BankSeriesSnapshot {
+                    bank: 0,
+                    dropped: 2,
+                    ewma_permille: 640,
+                    risk: RiskState::Elevated,
+                    points: vec![
+                        SamplePoint {
+                            tick: 3,
+                            t_ns: 3000,
+                            reads: 7,
+                            writes: 1,
+                            corrected_symbols: 4,
+                            corrections: 2,
+                            busy_ns: 2200,
+                            p50_ns: 128,
+                            p99_ns: 1024,
+                            ewma_permille: 512,
+                            risk: RiskState::Elevated,
+                            ..Default::default()
+                        },
+                        SamplePoint {
+                            tick: 4,
+                            t_ns: 4000,
+                            scrubs: 2,
+                            ewma_permille: 640,
+                            risk: RiskState::Elevated,
+                            ..Default::default()
+                        },
+                    ],
+                },
+                BankSeriesSnapshot {
+                    bank: 1,
+                    dropped: 0,
+                    ewma_permille: 0,
+                    risk: RiskState::Healthy,
+                    points: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snap = sample_snapshot();
+        let doc = snap.to_jsonl();
+        assert!(
+            doc.starts_with("{\"telemetry\":1,\"banks\":2,\"interval_ns\":1000,\"capacity\":8}\n")
+        );
+        assert!(doc.ends_with('\n'));
+        assert_eq!(
+            doc.lines().count(),
+            1 + 2 + 2,
+            "header + summaries + points"
+        );
+        let parsed = parse(&doc).expect("round trip");
+        assert_eq!(parsed, snap);
+        // Byte-stable: re-export of the parse equals the original.
+        assert_eq!(parsed.to_jsonl(), doc);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"telemetry\":2,\"banks\":0,\"interval_ns\":1,\"capacity\":1}\n").is_err());
+        assert!(parse("{\"telemetry\":1,\"banks\":1,\"interval_ns\":1,\"capacity\":1}\n").is_err());
+        let doc = sample_snapshot().to_jsonl();
+        let truncated: String = doc.lines().take(2).collect::<Vec<_>>().join("\n");
+        assert!(parse(&truncated).is_err(), "missing point lines");
+        let garbled = doc.replace("\"risk\":\"elevated\"", "\"risk\":\"sideways\"");
+        assert!(parse(&garbled).is_err());
+    }
+
+    #[test]
+    fn prometheus_text_is_deterministic_and_labelled() {
+        let snap = sample_snapshot();
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE pcm_bank_risk_state gauge"));
+        assert!(text.contains("pcm_bank_risk_state{bank=\"0\"} 1"));
+        assert!(text.contains("pcm_bank_risk_state{bank=\"1\"} 0"));
+        assert!(text.contains("pcm_bank_drift_ewma_permille{bank=\"0\"} 640"));
+        assert!(text.contains("pcm_bank_samples_dropped_total{bank=\"0\"} 2"));
+        // Latest-point gauges come from bank 0's tick-4 point.
+        assert!(text.contains("pcm_bank_scrubs_per_interval{bank=\"0\"} 2"));
+        assert!(text.contains("pcm_bank_reads_per_interval{bank=\"0\"} 0"));
+        assert_eq!(text, snap.to_prometheus());
+    }
+}

@@ -1,0 +1,236 @@
+//! The per-bank drift-risk state machine: a fixed-point integer EWMA of
+//! corrected-symbol deltas, classified against a configurable budget.
+//!
+//! The paper's practicality argument (§5–6) hinges on catching drift
+//! *before* it defeats the resistance margins: correction counts rise
+//! smoothly as levels drift toward decision boundaries, so a smoothed
+//! per-interval correction rate is a leading indicator of the bank that
+//! will fail its next scrub deadline. This module turns that rate into
+//! a three-state health signal the (future) adaptive scrub controller
+//! can act on.
+//!
+//! All arithmetic is integer: the EWMA is kept scaled by
+//! [`EWMA_SCALE`](crate::EWMA_SCALE) and smoothed with a right-shift,
+//! so two runs that observe the same deltas produce bit-identical risk
+//! trajectories on any platform.
+
+use crate::config::{DriftRiskConfig, EWMA_SCALE};
+
+/// Health classification of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum RiskState {
+    /// Correction pressure well inside budget.
+    #[default]
+    Healthy,
+    /// Correction pressure at or above the elevated threshold.
+    Elevated,
+    /// Correction pressure at or above the critical threshold.
+    Critical,
+}
+
+impl RiskState {
+    /// Every state, in code order.
+    pub const ALL: [RiskState; 3] = [RiskState::Healthy, RiskState::Elevated, RiskState::Critical];
+
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RiskState::Healthy => "healthy",
+            RiskState::Elevated => "elevated",
+            RiskState::Critical => "critical",
+        }
+    }
+
+    /// Inverse of [`RiskState::name`].
+    pub fn from_name(name: &str) -> Option<RiskState> {
+        RiskState::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Compact code used in trace payloads (Healthy = 0, Elevated = 1,
+    /// Critical = 2).
+    pub fn code(self) -> u64 {
+        match self {
+            RiskState::Healthy => 0,
+            RiskState::Elevated => 1,
+            RiskState::Critical => 2,
+        }
+    }
+
+    /// Inverse of [`RiskState::code`].
+    pub fn from_code(code: u64) -> Option<RiskState> {
+        RiskState::ALL.into_iter().find(|s| s.code() == code)
+    }
+}
+
+/// The evolving estimator for one bank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriftRisk {
+    /// EWMA of corrected symbols per interval, scaled by
+    /// [`EWMA_SCALE`](crate::EWMA_SCALE).
+    ewma_scaled: u64,
+    /// Current classification.
+    state: RiskState,
+}
+
+impl DriftRisk {
+    /// A fresh estimator: zero pressure, [`RiskState::Healthy`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scaled EWMA (mostly for tests; prefer
+    /// [`DriftRisk::permille`]).
+    pub fn ewma_scaled(&self) -> u64 {
+        self.ewma_scaled
+    }
+
+    /// Current classification.
+    pub fn state(&self) -> RiskState {
+        self.state
+    }
+
+    /// The EWMA as permille of the configured budget.
+    pub fn permille(&self, config: &DriftRiskConfig) -> u64 {
+        // budget * EWMA_SCALE fits comfortably below 2^64 for any
+        // plausible budget; saturate anyway so a pathological config
+        // degrades to "pinned at maximum" instead of wrapping.
+        self.ewma_scaled
+            .saturating_mul(1000)
+            .checked_div(config.budget().saturating_mul(EWMA_SCALE))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Fold one interval's corrected-symbol delta into the EWMA and
+    /// reclassify. Returns `Some((from, to))` when the state changed.
+    pub fn observe(
+        &mut self,
+        corrected_delta: u64,
+        config: &DriftRiskConfig,
+    ) -> Option<(RiskState, RiskState)> {
+        let shift = config.shift();
+        // Standard integer EWMA: keep (1 - 2^-shift) of the old value,
+        // add 2^-shift of the new sample (pre-scaled). The decay term
+        // rounds up so quiet banks reach exactly zero instead of
+        // stalling one scaled unit above it.
+        self.ewma_scaled = self.ewma_scaled - self.ewma_scaled.div_ceil(1u64 << shift)
+            + (corrected_delta.saturating_mul(EWMA_SCALE) >> shift);
+        let permille = self.permille(config);
+        let next = if permille >= config.critical_permille {
+            RiskState::Critical
+        } else if permille >= config.elevated_permille {
+            RiskState::Elevated
+        } else {
+            RiskState::Healthy
+        };
+        let prev = self.state;
+        self.state = next;
+        (prev != next).then_some((prev, next))
+    }
+}
+
+/// Pack a risk transition into one trace payload word:
+/// `(permille << 16) | (from << 8) | to`, with permille saturated to
+/// 16 bits.
+pub fn transition_payload(permille: u64, from: RiskState, to: RiskState) -> u64 {
+    (permille.min(0xffff) << 16) | (from.code() << 8) | to.code()
+}
+
+/// Unpack a [`transition_payload`] word into `(permille, from, to)`.
+pub fn decode_transition(payload: u64) -> Option<(u64, RiskState, RiskState)> {
+    let from = RiskState::from_code((payload >> 8) & 0xff)?;
+    let to = RiskState::from_code(payload & 0xff)?;
+    Some((payload >> 16, from, to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_codes_round_trip() {
+        for s in RiskState::ALL {
+            assert_eq!(RiskState::from_name(s.name()), Some(s));
+            assert_eq!(RiskState::from_code(s.code()), Some(s));
+        }
+        assert_eq!(RiskState::from_name("nope"), None);
+        assert_eq!(RiskState::from_code(9), None);
+    }
+
+    #[test]
+    fn sustained_pressure_escalates_and_decays() {
+        let cfg = DriftRiskConfig {
+            budget_per_interval: 10,
+            ewma_shift: 1, // fast smoothing for a short test
+            // Wide Elevated band so the halving decay can't leap over
+            // it straight from Critical to Healthy.
+            elevated_permille: 300,
+            critical_permille: 900,
+        };
+        let mut risk = DriftRisk::new();
+        // Feed the budget every interval: the EWMA converges toward
+        // 1000‰ and must pass through Elevated on its way to Critical.
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            if let Some((from, to)) = risk.observe(10, &cfg) {
+                seen.push((from, to));
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (RiskState::Healthy, RiskState::Elevated),
+                (RiskState::Elevated, RiskState::Critical),
+            ]
+        );
+        assert_eq!(risk.state(), RiskState::Critical);
+        // Quiet intervals decay it back down through Elevated to
+        // Healthy, emitting the reverse transitions.
+        seen.clear();
+        for _ in 0..16 {
+            if let Some(t) = risk.observe(0, &cfg) {
+                seen.push(t);
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (RiskState::Critical, RiskState::Elevated),
+                (RiskState::Elevated, RiskState::Healthy),
+            ]
+        );
+        assert_eq!(risk.ewma_scaled(), 0, "floor shifts decay fully to zero");
+    }
+
+    #[test]
+    fn permille_is_exact_at_convergence() {
+        let cfg = DriftRiskConfig {
+            budget_per_interval: 4,
+            ewma_shift: 2,
+            ..Default::default()
+        };
+        let mut risk = DriftRisk::new();
+        for _ in 0..200 {
+            risk.observe(4, &cfg);
+        }
+        // Converged EWMA of a constant input approaches the input, but
+        // floor shifts leave it a hair under: within one permille.
+        let p = risk.permille(&cfg);
+        assert!((995..=1000).contains(&p), "permille {p}");
+    }
+
+    #[test]
+    fn payload_round_trips() {
+        let p = transition_payload(640, RiskState::Healthy, RiskState::Elevated);
+        assert_eq!(
+            decode_transition(p),
+            Some((640, RiskState::Healthy, RiskState::Elevated))
+        );
+        // Saturation keeps the packed permille within 16 bits.
+        let p = transition_payload(1 << 40, RiskState::Critical, RiskState::Healthy);
+        assert_eq!(
+            decode_transition(p),
+            Some((0xffff, RiskState::Critical, RiskState::Healthy))
+        );
+        assert_eq!(decode_transition(0xff00), None, "bad from-code");
+    }
+}

@@ -48,11 +48,15 @@ pub enum OpKind {
     /// device writes it issued; begin payload = key hash, end payload =
     /// pages freed).
     KvDelete,
+    /// A telemetry drift-risk state change on one bank (instant at the
+    /// sample deadline; payload packs `(ewma_permille << 16) |
+    /// (from_code << 8) | to_code`, see `pcm-telemetry`).
+    RiskTransition,
 }
 
 impl OpKind {
     /// Every kind, in wire-code order.
-    pub const ALL: [OpKind; 10] = [
+    pub const ALL: [OpKind; 11] = [
         OpKind::Read,
         OpKind::Write,
         OpKind::Refresh,
@@ -63,6 +67,7 @@ impl OpKind {
         OpKind::KvGet,
         OpKind::KvPut,
         OpKind::KvDelete,
+        OpKind::RiskTransition,
     ];
 
     /// Stable lowercase name used by the JSONL exporter.
@@ -78,6 +83,7 @@ impl OpKind {
             OpKind::KvGet => "kv_get",
             OpKind::KvPut => "kv_put",
             OpKind::KvDelete => "kv_delete",
+            OpKind::RiskTransition => "risk_transition",
         }
     }
 
@@ -99,6 +105,7 @@ impl OpKind {
             OpKind::KvGet => 7,
             OpKind::KvPut => 8,
             OpKind::KvDelete => 9,
+            OpKind::RiskTransition => 10,
         }
     }
 

@@ -1,0 +1,26 @@
+//! Expected-fail fixture for the telemetry recorder idiom: a sampler
+//! that accumulates its deadline in floats (the drift bug the integer
+//! tick discipline forbids) and publishes its tick word with orderings
+//! too weak to pair.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Sampler {
+    next_due: f64,
+    interval: f64,
+    tick_word: AtomicU64,
+}
+
+impl Sampler {
+    pub fn advance(&mut self) {
+        self.next_due += self.interval; //~ no-float-tick
+    }
+
+    pub fn publish_tick(&self, t: u64) {
+        self.tick_word.store(t, Ordering::Release);
+    }
+
+    pub fn read_tick_racy(&self) -> u64 {
+        self.tick_word.load(Ordering::Relaxed) //~ atomic-ordering
+    }
+}

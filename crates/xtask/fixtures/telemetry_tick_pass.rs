@@ -1,0 +1,40 @@
+//! Expected-pass fixture for the telemetry recorder idiom: integer
+//! sample ticks claimed as products (never float accumulation), state
+//! behind the declared innermost `lock_series` wrapper, and poison
+//! recovery without a panic path.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct SeriesState {
+    pub next_tick: u64,
+    pub samples: Vec<u64>,
+}
+
+/// The declared `telemetry`-class lock wrapper: raw `.lock(` is legal
+/// only here. Counter state survives a sibling panic intact, so the
+/// poisoned guard is simply adopted.
+pub fn lock_series(state: &Mutex<SeriesState>) -> MutexGuard<'_, SeriesState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub struct Recorder {
+    interval_ns: u64,
+    state: Mutex<SeriesState>,
+}
+
+impl Recorder {
+    pub fn due_before(&self, now_ns: u64) -> bool {
+        let s = lock_series(&self.state);
+        // Deadline as an integer product of the tick index — the
+        // pattern `no-float-tick` exists to protect.
+        s.next_tick.saturating_mul(self.interval_ns) <= now_ns
+    }
+
+    pub fn sample_up_to(&self, now_ns: u64, counter: u64) {
+        let mut s = lock_series(&self.state);
+        while s.next_tick.saturating_mul(self.interval_ns) <= now_ns {
+            s.samples.push(counter);
+            s.next_tick += 1;
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The `bench-diff` subcommand: compare two bench JSON documents
+//! (e.g. `BENCH_store.json` from the base branch vs. this one) and
+//! fail on a throughput regression.
+//!
+//! Both documents are flattened to `path → number` leaves
+//! (`runs[1].kops_per_model_sec`, `ops.hits`, …) and every path present
+//! in both is compared. A leaf is a **throughput** metric — where lower
+//! is a regression — when its terminal key contains `kops` or ends in
+//! `_per_sec`; such a leaf dropping more than [`TOLERANCE_PCT`] percent
+//! fails the diff. Everything else (latencies, op counts, configs) is
+//! reported for context but never gates: model-time latency percentiles
+//! legitimately wobble with thread scheduling (see the
+//! `store_throughput` bench docs), and op-total equality is already
+//! CI-gated byte-for-byte elsewhere.
+
+use crate::json::{self, Value};
+
+/// Allowed throughput drop, percent. One part in ten is far outside
+/// the wobble the multi-threaded runs show (placement order shifts
+/// wear-dependent write costs by a few percent at most).
+pub const TOLERANCE_PCT: f64 = 10.0;
+
+/// One compared numeric leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Flattened JSON path (`runs[0].kops_per_model_sec`).
+    pub path: String,
+    /// Value in the old document.
+    pub old: f64,
+    /// Value in the new document.
+    pub new: f64,
+    /// True when this leaf gates (throughput-named, lower is worse).
+    pub gated: bool,
+    /// True when this leaf regressed beyond tolerance.
+    pub regressed: bool,
+}
+
+/// Outcome of one document comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Every numeric leaf present in both documents, in path order.
+    pub metrics: Vec<MetricDelta>,
+    /// Paths present in exactly one document (shape drift — reported,
+    /// not fatal, so adding a metric never breaks the gate).
+    pub unmatched: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Gated leaves that regressed beyond tolerance.
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.metrics.iter().filter(|m| m.regressed).collect()
+    }
+
+    /// Render the comparison as a table plus a verdict line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "metric                                        old          new      delta%\n",
+        );
+        for m in &self.metrics {
+            let delta = if m.old == 0.0 {
+                0.0
+            } else {
+                (m.new - m.old) / m.old * 100.0
+            };
+            out.push_str(&format!(
+                "{:<42} {:>12.3} {:>12.3} {:>+10.2}{}\n",
+                m.path,
+                m.old,
+                m.new,
+                delta,
+                if m.regressed {
+                    "  REGRESSION"
+                } else if m.gated {
+                    "  (gated)"
+                } else {
+                    ""
+                }
+            ));
+        }
+        for p in &self.unmatched {
+            out.push_str(&format!("{p:<42}  (only in one document)\n"));
+        }
+        let bad = self.regressions();
+        if bad.is_empty() {
+            out.push_str(&format!(
+                "bench-diff: OK — no gated metric dropped more than {TOLERANCE_PCT}%\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "bench-diff: FAIL — {} gated metric(s) regressed more than {TOLERANCE_PCT}%\n",
+                bad.len()
+            ));
+        }
+        out
+    }
+}
+
+/// True when `path`'s terminal key names a throughput metric.
+fn is_throughput(path: &str) -> bool {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    leaf.contains("kops") || leaf.ends_with("_per_sec")
+}
+
+/// Flatten every numeric leaf of `v` into `out` as `(path, value)`.
+fn flatten(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+    match v {
+        Value::Obj(m) => {
+            for (k, child) in m {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&path, child, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        _ => {
+            if let Some(n) = v.as_f64() {
+                out.push((prefix.to_string(), n));
+            }
+        }
+    }
+}
+
+/// Compare two bench documents. Parse failures are errors; shape
+/// differences are not (they land in `unmatched`).
+pub fn diff_docs(old_doc: &str, new_doc: &str) -> Result<BenchDiff, String> {
+    let old = json::parse(old_doc).map_err(|e| format!("old document: {e}"))?;
+    let new = json::parse(new_doc).map_err(|e| format!("new document: {e}"))?;
+    let mut old_leaves = Vec::new();
+    let mut new_leaves = Vec::new();
+    flatten("", &old, &mut old_leaves);
+    flatten("", &new, &mut new_leaves);
+    let new_map: std::collections::BTreeMap<&str, f64> =
+        new_leaves.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    let old_paths: std::collections::BTreeSet<&str> =
+        old_leaves.iter().map(|(p, _)| p.as_str()).collect();
+    let mut metrics = Vec::new();
+    let mut unmatched: Vec<String> = Vec::new();
+    for (path, old_val) in &old_leaves {
+        match new_map.get(path.as_str()) {
+            Some(&new_val) => {
+                let gated = is_throughput(path);
+                let regressed = gated && new_val < old_val * (1.0 - TOLERANCE_PCT / 100.0);
+                metrics.push(MetricDelta {
+                    path: path.clone(),
+                    old: *old_val,
+                    new: new_val,
+                    gated,
+                    regressed,
+                });
+            }
+            None => unmatched.push(path.clone()),
+        }
+    }
+    for (path, _) in &new_leaves {
+        if !old_paths.contains(path.as_str()) {
+            unmatched.push(path.clone());
+        }
+    }
+    Ok(BenchDiff { metrics, unmatched })
+}
+
+/// File-reading front end for `main`.
+pub fn diff_files(old_path: &str, new_path: &str) -> Result<BenchDiff, String> {
+    let old =
+        std::fs::read_to_string(old_path).map_err(|e| format!("cannot read {old_path}: {e}"))?;
+    let new =
+        std::fs::read_to_string(new_path).map_err(|e| format!("cannot read {new_path}: {e}"))?;
+    diff_docs(&old, &new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(kops: &str, p99: u64) -> String {
+        format!(
+            "{{\"bench\":\"store_throughput\",\"ops\":{{\"hits\":100}},\
+             \"runs\":[{{\"threads\":1,\"p99_ns\":{p99},\"kops_per_model_sec\":{kops}}}]}}"
+        )
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let d = diff_docs(&doc("100.0", 1200), &doc("95.0", 2000)).unwrap();
+        assert!(d.regressions().is_empty(), "{d:?}");
+        // Latency doubled but p99 is not a gated metric.
+        let p99 = d
+            .metrics
+            .iter()
+            .find(|m| m.path.ends_with("p99_ns"))
+            .unwrap();
+        assert!(!p99.gated);
+        assert!(d.render_text().contains("bench-diff: OK"));
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails() {
+        let d = diff_docs(&doc("100.0", 1200), &doc("89.9", 1200)).unwrap();
+        let bad = d.regressions();
+        assert_eq!(bad.len(), 1, "{d:?}");
+        assert!(bad[0].path.ends_with("kops_per_model_sec"));
+        assert!(d.render_text().contains("bench-diff: FAIL"));
+        // Improvements never gate.
+        let up = diff_docs(&doc("100.0", 1200), &doc("250.0", 1200)).unwrap();
+        assert!(up.regressions().is_empty());
+    }
+
+    #[test]
+    fn shape_drift_is_reported_not_fatal() {
+        let old = "{\"runs\":[{\"kops_per_model_sec\":10.0}]}";
+        let new =
+            "{\"runs\":[{\"kops_per_model_sec\":10.0,\"extra\":1}],\"telemetry\":{\"banks\":8}}";
+        let d = diff_docs(old, new).unwrap();
+        assert!(d.regressions().is_empty());
+        assert_eq!(d.unmatched.len(), 2, "{:?}", d.unmatched);
+    }
+
+    #[test]
+    fn parse_failures_are_errors() {
+        assert!(diff_docs("not json", "{}").is_err());
+        assert!(diff_files("/nonexistent/a.json", "/nonexistent/b.json").is_err());
+    }
+}

@@ -18,6 +18,10 @@ pub enum Value {
     Bool(bool),
     /// All numbers pcm-lint emits are unsigned integers.
     Num(u64),
+    /// Non-integer numbers (bench documents carry throughput figures
+    /// like `"kops_per_model_sec": 12.345`; pcm-lint itself never emits
+    /// these).
+    Float(f64),
     Str(String),
     Arr(Vec<Value>),
     Obj(BTreeMap<String, Value>),
@@ -52,6 +56,15 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Any numeric leaf as `f64` (integers widen losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
 }
 
 /// Parse a complete JSON document. Trailing non-whitespace is an error.
@@ -82,6 +95,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
         Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
         Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
         Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(b'-') => parse_num(b, pos),
         Some(c) if c.is_ascii_digit() => parse_num(b, pos),
         Some(c) => Err(format!("unexpected byte `{}` at offset {pos}", *c as char)),
     }
@@ -98,14 +112,44 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, St
 
 fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
     while *pos < b.len() && b[*pos].is_ascii_digit() {
         *pos += 1;
     }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .map(Value::Num)
-        .ok_or_else(|| format!("invalid number at offset {start}"))
+    let mut float = false;
+    if b.get(*pos) == Some(&b'.') {
+        float = true;
+        *pos += 1;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        float = true;
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| format!("invalid number at offset {start}"))?;
+    if float || text.starts_with('-') {
+        // Integers stay `Num`; anything with a fraction, exponent, or
+        // sign becomes `Float` (negative integers are rare enough in
+        // our documents not to deserve a third variant).
+        text.parse()
+            .map(Value::Float)
+            .map_err(|_| format!("invalid number at offset {start}"))
+    } else {
+        text.parse()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number at offset {start}"))
+    }
 }
 
 fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -225,6 +269,18 @@ mod tests {
         assert_eq!(inner.get("b").unwrap().as_str(), Some("x\ny"));
         assert_eq!(inner.get("c"), Some(&Value::Bool(true)));
         assert_eq!(v.get("d"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn floats_parse_as_float_leaves() {
+        let v = parse(r#"{"kops": 12.345, "neg": -3, "exp": 1.5e3, "int": 7}"#).unwrap();
+        assert_eq!(v.get("kops").unwrap().as_f64(), Some(12.345));
+        assert_eq!(v.get("neg").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(v.get("exp").unwrap().as_f64(), Some(1500.0));
+        assert_eq!(v.get("int"), Some(&Value::Num(7)));
+        assert_eq!(v.get("int").unwrap().as_f64(), Some(7.0));
+        assert!(parse("{\"bad\": 1.}").is_ok(), "lenient empty fraction");
+        assert!(parse("{\"bad\": .5}").is_err(), "no leading-dot numbers");
     }
 
     #[test]

@@ -29,10 +29,12 @@
 //! --audit-allows` re-checks every suppression and fails on stale
 //! ones, so the allow list can only shrink.
 
+pub mod bench_diff;
 pub mod json;
 pub mod lexer;
 pub mod lock_order;
 pub mod model;
+pub mod obs_report;
 pub mod rules;
 pub mod source;
 pub mod trace_report;

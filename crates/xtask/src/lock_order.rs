@@ -9,13 +9,16 @@
 //! workspace against one declared order:
 //!
 //! ```text
-//! stripe  →  allocator  →  bank  →  bch-registry  →  gf-registry
+//! stripe  →  allocator  →  bank  →  bch-registry  →  gf-registry  →  telemetry
 //! ```
 //!
 //! (`pcm-store` directory stripes outermost, then the free-list
 //! allocator, then the per-bank device locks; the ECC table
-//! registries are innermost leaves — `Bch::new` builds tables while
-//! holding the BCH registry, which may populate the GF registry.)
+//! registries are inner leaves — `Bch::new` builds tables while
+//! holding the BCH registry, which may populate the GF registry.
+//! The telemetry series mutex is innermost: `advance_time` takes it
+//! with nothing else held, and while held it only pushes into the
+//! lock-free trace ring.)
 //!
 //! ## The contract
 //!
@@ -52,7 +55,14 @@ pub const RULE: &str = "lock-order";
 /// Lock classes in their declared acquisition order, outermost first.
 /// Rank = index; every edge in the observed lock graph must strictly
 /// increase rank.
-pub const DECLARED_ORDER: &[&str] = &["stripe", "allocator", "bank", "bch-registry", "gf-registry"];
+pub const DECLARED_ORDER: &[&str] = &[
+    "stripe",
+    "allocator",
+    "bank",
+    "bch-registry",
+    "gf-registry",
+    "telemetry",
+];
 
 /// A declared lock-acquisition wrapper function.
 pub struct Wrapper {
@@ -104,6 +114,12 @@ pub const WRAPPERS: &[Wrapper] = &[
         fn_name: "gf_registry",
         class: "gf-registry",
         returns_guard: false,
+        sanctioned_pair: false,
+    },
+    Wrapper {
+        fn_name: "lock_series",
+        class: "telemetry",
+        returns_guard: true,
         sanctioned_pair: false,
     },
 ];

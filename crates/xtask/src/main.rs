@@ -1,8 +1,10 @@
-//! Workspace automation driver. Two subcommands:
+//! Workspace automation driver. Four subcommands:
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--json] [--audit-allows] [FILE…]
 //! cargo run -p xtask -- trace-report [--json] [--top N] <file.jsonl>
+//! cargo run -p xtask -- obs-report [--json] [--top N] <telemetry.jsonl>
+//! cargo run -p xtask -- bench-diff <old.json> <new.json>
 //! ```
 //!
 //! `lint` with no files runs the per-file rules plus the workspace
@@ -12,8 +14,13 @@
 //! `// pcm-lint: allow(…)` comment whose rule no longer fires there.
 //! `trace-report` summarizes a `pcm-trace` JSONL file: per-bank op
 //! counts, span-duration histograms, scrub/demand interleaving, and
-//! the longest spans. For both subcommands, `--json` switches to the
-//! stable machine-readable schema documented in DESIGN.md §15.
+//! the longest spans. `obs-report` summarizes a `pcm-telemetry` JSONL
+//! export: per-bank sample tables with activity sparklines, the top
+//! drift-risk banks, and scrub/demand interference windows.
+//! `bench-diff` compares two bench JSON documents and fails when a
+//! throughput leaf drops more than 10%. Where supported, `--json`
+//! switches to the stable machine-readable schema documented in
+//! DESIGN.md §15.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -23,6 +30,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("trace-report") => trace_report(&args[1..]),
+        Some("obs-report") => obs_report(&args[1..]),
+        Some("bench-diff") => bench_diff(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`");
             usage();
@@ -38,6 +47,8 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!("usage: cargo run -p xtask -- lint [--json] [--audit-allows] [FILE…]");
     eprintln!("       cargo run -p xtask -- trace-report [--json] [--top N] <file.jsonl>");
+    eprintln!("       cargo run -p xtask -- obs-report [--json] [--top N] <telemetry.jsonl>");
+    eprintln!("       cargo run -p xtask -- bench-diff <old.json> <new.json>");
     eprintln!();
     eprintln!("rules:");
     for rule in xtask::rules::all() {
@@ -100,6 +111,80 @@ fn trace_report(args: &[String]) -> ExitCode {
         Err(e) => {
             eprintln!("trace-report: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+fn obs_report(args: &[String]) -> ExitCode {
+    let mut opts = xtask::obs_report::Options::default();
+    let mut file: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--top" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => opts.top = n,
+                _ => {
+                    eprintln!("obs-report: --top needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() => file = Some(other),
+            other => {
+                eprintln!("obs-report: unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("obs-report: no telemetry file given");
+        usage();
+        return ExitCode::from(2);
+    };
+    match xtask::obs_report::report_file(path, &opts) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_diff(args: &[String]) -> ExitCode {
+    let mut files: Vec<&str> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(other),
+        }
+    }
+    let [old, new] = files[..] else {
+        eprintln!("bench-diff: want exactly two files (old.json new.json)");
+        usage();
+        return ExitCode::from(2);
+    };
+    match xtask::bench_diff::diff_files(old, new) {
+        Ok(diff) => {
+            print!("{}", diff.render_text());
+            if diff.regressions().is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            ExitCode::from(2)
         }
     }
 }

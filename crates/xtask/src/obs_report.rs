@@ -1,0 +1,84 @@
+//! The `obs-report` subcommand: read a `pcm-telemetry` JSONL export
+//! and print the [`pcm_telemetry::report`] summary.
+//!
+//! This module is a thin I/O wrapper — all analysis lives in
+//! `pcm_telemetry::report` so library users and the
+//! `telemetry_explorer` example get exactly the same numbers as the
+//! CLI.
+
+/// Parsed `obs-report` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Emit the report as one JSON object instead of tables.
+    pub json: bool,
+    /// Rows in the top-risk-banks table.
+    pub top: usize,
+}
+
+/// Read `path` and render its report per `opts`. Errors are returned as
+/// display-ready strings so `main` stays a thin exit-code adapter.
+pub fn report_file(path: &str, opts: &Options) -> Result<String, String> {
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    report_str(&doc, opts).map_err(|e| format!("{path}: {e}"))
+}
+
+/// [`report_file`] over an in-memory document (testable without I/O).
+pub fn report_str(doc: &str, opts: &Options) -> Result<String, String> {
+    let top = if opts.top == 0 { 10 } else { opts.top };
+    let report = pcm_telemetry::report::analyze_str(doc, top).map_err(|e| e.to_string())?;
+    Ok(if opts.json {
+        let mut s = report.to_json();
+        s.push('\n');
+        s
+    } else {
+        report.render_text()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> String {
+        use pcm_telemetry::{BankCounters, TelemetryConfig, TelemetryRecorder};
+        use pcm_trace::Recorder;
+        let rec = TelemetryRecorder::new(2, TelemetryConfig::new(1000).with_capacity(16));
+        let tracer = Recorder::disabled();
+        let mut c0 = BankCounters::default();
+        let mut c1 = BankCounters::default();
+        for step in 1..=8u64 {
+            c0.reads += 4;
+            c0.busy_ns += 800;
+            c1.scrubs += 1;
+            c1.busy_ns += 1200;
+            c1.corrected_symbols += step * 30;
+            rec.sample_up_to(step * 1000, &[c0.clone(), c1.clone()], &tracer);
+        }
+        rec.snapshot().to_jsonl()
+    }
+
+    #[test]
+    fn text_report_renders_tables() {
+        let out = report_str(&sample_doc(), &Options::default()).unwrap();
+        assert!(out.contains("2 banks"), "{out}");
+        assert!(out.contains("top risk banks"), "{out}");
+    }
+
+    #[test]
+    fn json_report_has_fixed_shape() {
+        let opts = Options { json: true, top: 5 };
+        let out = report_str(&sample_doc(), &opts).unwrap();
+        assert!(out.starts_with("{\"banks\":2,"), "{out}");
+        assert!(out.contains("\"per_bank\":["), "{out}");
+        assert!(out.contains("\"top_risk\":["), "{out}");
+        assert!(out.ends_with("}\n"), "{out}");
+        // Byte-stable across invocations.
+        assert_eq!(out, report_str(&sample_doc(), &opts).unwrap());
+    }
+
+    #[test]
+    fn bad_input_is_an_error_string() {
+        assert!(report_str("nope\n", &Options::default()).is_err());
+        assert!(report_file("/nonexistent/telemetry.jsonl", &Options::default()).is_err());
+    }
+}

@@ -59,6 +59,7 @@ pub const LIB_CRATES: &[&str] = &[
     "pcm-sim",
     "pcm-store",
     "pcm-trace",
+    "pcm-telemetry",
     "pcm-ecc",
     "pcm-codec",
     "pcm-wearout",
@@ -68,12 +69,16 @@ pub const LIB_CRATES: &[&str] = &[
 /// `pcm-ecc` joined when the bit-sliced batch kernels landed: decode
 /// results feed the determinism gates, so its table registry and batch
 /// paths must stay free of ambient entropy and clocks too.
+/// `pcm-telemetry` joined with the time-series layer: its sample ticks
+/// and risk estimators feed a byte-identical CI oracle, so they must be
+/// a pure function of the observation sequence.
 pub const DETERMINISM_CRATES: &[&str] = &[
     "pcm-core",
     "pcm-device",
     "pcm-sim",
     "pcm-store",
     "pcm-trace",
+    "pcm-telemetry",
     "pcm-ecc",
 ];
 
@@ -81,4 +86,14 @@ pub const DETERMINISM_CRATES: &[&str] = &[
 /// registries (`bch_registry`/`gf_registry`), which nest under the
 /// store's stripe/allocator/bank guards when decode runs inside a
 /// serving path — so the lock-order analysis must see them.
-pub const LOCK_CRATES: &[&str] = &["pcm-device", "pcm-sim", "pcm-store", "pcm-ecc"];
+/// `pcm-telemetry` joined with the series recorder's state mutex
+/// (`lock_series`), the innermost `telemetry` class: it is taken from
+/// `advance_time` while no other workspace lock is held, and holds while
+/// emitting trace instants (lock-free ring pushes).
+pub const LOCK_CRATES: &[&str] = &[
+    "pcm-device",
+    "pcm-sim",
+    "pcm-store",
+    "pcm-ecc",
+    "pcm-telemetry",
+];

@@ -18,6 +18,7 @@ const CASES: &[(&str, &str)] = &[
     ("lock_order", "pcm-device"),
     ("atomic_ordering", "pcm-device"),
     ("deprecated_internal", "pcm-bench"),
+    ("telemetry_tick", "pcm-telemetry"),
 ];
 
 fn fixture(name: &str) -> String {

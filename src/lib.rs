@@ -19,6 +19,7 @@
 //! | [`device`] | cell arrays, full 3LC/4LC block datapaths, devices, refresh controller |
 //! | [`sim`] | trace-driven performance & energy simulation (Figure 16) |
 //! | [`trace`] | deterministic model-time event tracing (ring buffers, JSONL/Chrome exporters) |
+//! | [`telemetry`] | model-time series sampling, per-bank drift-risk estimators, `obs-report` analyzer |
 //! | [`store`] | KV serving layer: CRC-checked pages, free-list allocation, hash directory, deterministic YCSB-style workloads |
 //!
 //! ## Quickstart
@@ -68,5 +69,6 @@ pub use pcm_device as device;
 pub use pcm_ecc as ecc;
 pub use pcm_sim as sim;
 pub use pcm_store as store;
+pub use pcm_telemetry as telemetry;
 pub use pcm_trace as trace;
 pub use pcm_wearout as wearout;
