@@ -21,17 +21,27 @@
 //! the byte-stable JSONL `obs-report` consumes, and `--metrics-out`
 //! dumps the telemetry pass's raw per-bank device counters.
 //!
+//! `--profile-out FILE` turns on event tracing for the phased pass and
+//! writes the causal request profile (DESIGN.md §17): per-request
+//! latency attribution as JSONL at `FILE`, plus collapsed flamegraph
+//! stacks at `FILE.folded`. Correlation ids ride per-actor split
+//! counters, so the profile is byte-identical at any thread count; the
+//! traced pass's op totals are still gated against the untraced runs.
+//!
 //! ```text
 //! store_throughput [--seed N] [--actors N] [--keys N] [--ops N]
 //!                  [--value-bytes N] [--mix a|b|c] [--theta F]
 //!                  [--threads 1,2,8] [--out BENCH_store.json]
 //!                  [--metrics-out FILE] [--telemetry-out FILE]
+//!                  [--profile-out FILE]
 //! ```
 //!
 //! Exit status is nonzero if any run fails or if two thread counts
 //! disagree on totals, so CI can gate on it directly.
 
-use pcm_device::{DeviceBuilder, RiskState, TelemetryConfig, TelemetrySnapshot};
+use pcm_device::{
+    jsonl, DeviceBuilder, RiskState, TelemetryConfig, TelemetrySnapshot, TraceConfig,
+};
 use pcm_store::workload::{
     run, run_phased, Mix, OpTotals, PhasedConfig, WorkloadConfig, WorkloadReport,
 };
@@ -43,6 +53,7 @@ struct Args {
     out: String,
     metrics_out: Option<String>,
     telemetry_out: Option<String>,
+    profile_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -51,6 +62,7 @@ fn parse_args() -> Args {
     let mut out = String::from("BENCH_store.json");
     let mut metrics_out = None;
     let mut telemetry_out = None;
+    let mut profile_out = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -86,6 +98,7 @@ fn parse_args() -> Args {
             "--out" => out = value(&mut i),
             "--metrics-out" => metrics_out = Some(value(&mut i)),
             "--telemetry-out" => telemetry_out = Some(value(&mut i)),
+            "--profile-out" => profile_out = Some(value(&mut i)),
             other => {
                 eprintln!("unknown flag '{other}'");
                 std::process::exit(2);
@@ -99,10 +112,15 @@ fn parse_args() -> Args {
         out,
         metrics_out,
         telemetry_out,
+        profile_out,
     }
 }
 
-fn fresh_store(cfg: &WorkloadConfig, telemetry: Option<TelemetryConfig>) -> PcmStore {
+fn fresh_store(
+    cfg: &WorkloadConfig,
+    telemetry: Option<TelemetryConfig>,
+    trace: Option<TraceConfig>,
+) -> PcmStore {
     let store_cfg = StoreConfig {
         dir_buckets: 64,
         stripes: 16,
@@ -115,6 +133,9 @@ fn fresh_store(cfg: &WorkloadConfig, telemetry: Option<TelemetryConfig>) -> PcmS
         .seed(cfg.seed);
     if let Some(t) = telemetry {
         builder = builder.telemetry(t);
+    }
+    if let Some(t) = trace {
+        builder = builder.trace(t);
     }
     let dev = builder.build_sharded().expect("device build");
     PcmStore::format(dev, store_cfg).expect("store format")
@@ -143,6 +164,11 @@ const TELEMETRY_PHASES: usize = 8;
 const TELEMETRY_ADVANCE_SECS: f64 = 0.025;
 const TELEMETRY_INTERVAL_NS: u64 = 25_000_000;
 const TELEMETRY_SCRUB_SECS: f64 = 0.005;
+
+/// Per-bank trace ring for the `--profile-out` pass. Sized so the
+/// default workload records loss-free; a bigger workload that wraps is
+/// reported via the profile's orphan/drop counts, not an error.
+const PROFILE_TRACE_CAPACITY: usize = 1 << 16;
 
 fn telemetry_json(snap: &TelemetrySnapshot) -> String {
     let points: usize = snap.per_bank.iter().map(|b| b.points.len()).sum();
@@ -193,7 +219,7 @@ fn main() {
 
     let mut reports = Vec::new();
     for &threads in &args.threads {
-        let store = fresh_store(cfg, None);
+        let store = fresh_store(cfg, None, None);
         let report = run(&store, cfg, threads).unwrap_or_else(|e| {
             eprintln!("workload failed at {threads} threads: {e}");
             std::process::exit(1);
@@ -235,7 +261,15 @@ fn main() {
     // series summary rides under a separate top-level key so the CI
     // `"ops"`/`"runs"` comparison is untouched.
     let tel_threads = args.threads.iter().copied().max().unwrap_or(1);
-    let store = fresh_store(cfg, Some(TelemetryConfig::new(TELEMETRY_INTERVAL_NS)));
+    let trace_cfg = args
+        .profile_out
+        .as_ref()
+        .map(|_| TraceConfig::new(PROFILE_TRACE_CAPACITY));
+    let store = fresh_store(
+        cfg,
+        Some(TelemetryConfig::new(TELEMETRY_INTERVAL_NS)),
+        trace_cfg,
+    );
     let phased = PhasedConfig {
         phases: TELEMETRY_PHASES,
         advance_secs: TELEMETRY_ADVANCE_SECS,
@@ -277,6 +311,41 @@ fn main() {
             std::process::exit(1);
         });
         println!("wrote {path} (per-bank device counters of the telemetry pass)");
+    }
+    if let Some(path) = &args.profile_out {
+        let trace_doc = jsonl::export(
+            &store
+                .device()
+                .tracer()
+                .buffer()
+                .expect("tracing enabled for --profile-out")
+                .snapshot(),
+        );
+        let profile = pcm_sim::profile::build(&trace_doc).unwrap_or_else(|e| {
+            eprintln!("profile attribution failed: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(path, profile.to_jsonl()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        let folded_path = format!("{path}.folded");
+        std::fs::write(&folded_path, profile.to_folded()).unwrap_or_else(|e| {
+            eprintln!("cannot write {folded_path}: {e}");
+            std::process::exit(1);
+        });
+        let stalled: u64 = profile
+            .scrub_interference()
+            .iter()
+            .map(|(_, stalled, _)| stalled)
+            .sum();
+        println!(
+            "  profile: {} requests attributed | {} stalled behind scrub | {} orphan event(s)",
+            profile.requests.len(),
+            stalled,
+            profile.orphan_events
+        );
+        println!("wrote {path} (request profile JSONL) and {folded_path} (flamegraph folded)");
     }
 
     let runs: Vec<String> = reports.iter().map(run_json).collect();

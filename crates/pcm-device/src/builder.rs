@@ -21,6 +21,7 @@
 //! a given seed (see `crate::concurrent`).
 
 use crate::bank::PcmBank;
+use crate::causal::CausalState;
 use crate::concurrent::ShardedPcmDevice;
 use crate::device::{CellOrganization, PcmDevice};
 use crate::generic_block::GenericBlock;
@@ -213,12 +214,14 @@ impl DeviceBuilder {
         let metrics = Arc::new(DeviceMetrics::new(self.banks));
         let trace = self.recorder();
         let telemetry = self.telemetry_recorder();
+        let causal = Arc::new(CausalState::new(self.banks));
         Ok(PcmDevice::from_banks(
             self.build_banks()?,
             0.0,
             metrics,
             trace,
             telemetry,
+            causal,
         ))
     }
 
@@ -229,12 +232,14 @@ impl DeviceBuilder {
         let metrics = Arc::new(DeviceMetrics::new(self.banks));
         let trace = self.recorder();
         let telemetry = self.telemetry_recorder();
+        let causal = Arc::new(CausalState::new(self.banks));
         Ok(ShardedPcmDevice::from_banks(
             self.build_banks()?,
             0.0,
             metrics,
             trace,
             telemetry,
+            causal,
         ))
     }
 }

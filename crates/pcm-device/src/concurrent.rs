@@ -42,13 +42,14 @@
 
 use crate::bank::PcmBank;
 use crate::block::{ReadReport, WriteReport, BLOCK_BYTES};
+use crate::causal::{self, CausalState};
 use crate::device::{DeviceStats, PcmDevice};
 use crate::error::PcmError;
 use crate::metrics::{self, DeviceMetrics};
 use crate::telemetry_hooks;
 use crate::trace_hooks;
 use pcm_telemetry::TelemetryRecorder;
-use pcm_trace::Recorder;
+use pcm_trace::{Recorder, NO_CTX};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -80,6 +81,7 @@ pub struct ShardedPcmDevice {
     metrics: Arc<DeviceMetrics>,
     trace: Recorder,
     telemetry: Option<Arc<TelemetryRecorder>>,
+    causal: Arc<CausalState>,
 }
 
 impl ShardedPcmDevice {
@@ -89,6 +91,7 @@ impl ShardedPcmDevice {
         metrics: Arc<DeviceMetrics>,
         trace: Recorder,
         telemetry: Option<Arc<TelemetryRecorder>>,
+        causal: Arc<CausalState>,
     ) -> Self {
         debug_assert_eq!(metrics.banks(), banks.len());
         let blocks = banks.iter().map(PcmBank::blocks).sum();
@@ -101,6 +104,7 @@ impl ShardedPcmDevice {
             metrics,
             trace,
             telemetry,
+            causal,
         }
     }
 
@@ -119,7 +123,14 @@ impl ShardedPcmDevice {
                     .expect("no shard lock can outlive the device")
             })
             .collect();
-        PcmDevice::from_banks(banks, now, self.metrics, self.trace, self.telemetry)
+        PcmDevice::from_banks(
+            banks,
+            now,
+            self.metrics,
+            self.trace,
+            self.telemetry,
+            self.causal,
+        )
     }
 
     /// The observability registry: per-bank atomic counters and latency
@@ -235,6 +246,28 @@ impl ShardedPcmDevice {
         }
     }
 
+    /// Next demand correlation id for `shard`. Call while holding the
+    /// bank's lock so per-bank allocation order equals op order;
+    /// [`NO_CTX`] when tracing is disabled.
+    fn demand_ctx(&self, shard: usize) -> u64 {
+        if self.trace.is_enabled() {
+            self.causal.next_demand(shard)
+        } else {
+            NO_CTX
+        }
+    }
+
+    /// Drain `shard`'s scrub debt at issue time, emitting the stall span
+    /// under the requester's ctx. Call while holding the bank's lock.
+    fn drain_debt(&self, shard: usize, block: usize, now: f64, ctx: u64) -> u64 {
+        if !self.trace.is_enabled() {
+            return 0;
+        }
+        let wait_ns = self.causal.take_debt(shard);
+        trace_hooks::scrub_stall_event(&self.trace, shard, block, now, wait_ns, ctx);
+        wait_ns
+    }
+
     /// Trace a write outcome. Must be called while the bank's lock is
     /// still held so the bank's event order equals its op order.
     fn trace_write(
@@ -244,6 +277,7 @@ impl ShardedPcmDevice {
         now: f64,
         cells: u64,
         r: &Result<WriteReport, PcmError>,
+        ctx: u64,
     ) {
         let outcome = match r {
             Ok(rep) => Ok((rep.attempts, rep.new_faults as u64)),
@@ -252,12 +286,19 @@ impl ShardedPcmDevice {
                 None => return,
             },
         };
-        trace_hooks::write_event(&self.trace, shard, block, now, cells, outcome);
+        trace_hooks::write_event(&self.trace, shard, block, now, cells, outcome, ctx);
     }
 
     /// Trace a read outcome (same under-the-lock rule as
     /// [`Self::trace_write`]).
-    fn trace_read(&self, shard: usize, block: usize, now: f64, r: &Result<ReadReport, PcmError>) {
+    fn trace_read(
+        &self,
+        shard: usize,
+        block: usize,
+        now: f64,
+        r: &Result<ReadReport, PcmError>,
+        ctx: u64,
+    ) {
         let outcome = match r {
             Ok(rep) => Ok(rep.corrected_bits as u64),
             Err(e) => match trace_hooks::pcm_error_code(e) {
@@ -265,7 +306,17 @@ impl ShardedPcmDevice {
                 None => return,
             },
         };
-        trace_hooks::read_event(&self.trace, shard, block, now, outcome);
+        trace_hooks::read_event(&self.trace, shard, block, now, outcome, ctx);
+    }
+
+    /// The model-time busy window the trace records for a completed
+    /// write: [`metrics::write_busy_ns`] of its program attempts over
+    /// this device's cells per block. Callers that model request
+    /// durations (the KV store's per-op spans) charge this, so a
+    /// retried write costs its request exactly what its trace span
+    /// covers.
+    pub fn write_busy_window_ns(&self, rep: &WriteReport) -> u64 {
+        metrics::write_busy_ns(rep.attempts, self.cells_per_block as u64)
     }
 
     /// Write 64 bytes to a block (locks only that block's bank).
@@ -274,11 +325,36 @@ impl ShardedPcmDevice {
         let now = self.now();
         let cells = self.cells_per_block as u64;
         let mut bank = lock_bank(&self.shards[shard]);
+        let ctx = self.demand_ctx(shard);
         let r = bank.write(local, now, data).map_err(PcmError::from);
-        self.trace_write(shard, block, now, cells, &r);
+        self.trace_write(shard, block, now, cells, &r, ctx);
         drop(bank);
         self.note_write(shard, cells, &r);
         r
+    }
+
+    /// [`ShardedPcmDevice::write_block`] with a caller-supplied
+    /// correlation id (e.g. a KV request's). Drains the bank's
+    /// accumulated scrub debt first — emitted as a `scrub_stall` span
+    /// under the caller's ctx — and returns the drained wait alongside
+    /// the report. Plain ops never drain, so debt only surfaces on
+    /// attributed requests.
+    pub fn write_block_ctx(
+        &self,
+        block: usize,
+        data: &[u8],
+        ctx: u64,
+    ) -> Result<(WriteReport, u64), PcmError> {
+        let (shard, local) = self.locate(block)?;
+        let now = self.now();
+        let cells = self.cells_per_block as u64;
+        let mut bank = lock_bank(&self.shards[shard]);
+        let wait_ns = self.drain_debt(shard, block, now, ctx);
+        let r = bank.write(local, now, data).map_err(PcmError::from);
+        self.trace_write(shard, block, now, cells, &r, ctx);
+        drop(bank);
+        self.note_write(shard, cells, &r);
+        r.map(|rep| (rep, wait_ns))
     }
 
     /// Read 64 bytes from a block (locks only that block's bank).
@@ -286,24 +362,62 @@ impl ShardedPcmDevice {
         let (shard, local) = self.locate(block)?;
         let now = self.now();
         let mut bank = lock_bank(&self.shards[shard]);
+        let ctx = self.demand_ctx(shard);
         let r = bank.read(local, now).map_err(PcmError::from);
-        self.trace_read(shard, block, now, &r);
+        self.trace_read(shard, block, now, &r, ctx);
         drop(bank);
         self.note_read(shard, &r);
         r
     }
 
-    /// Refresh (scrub) one block: read, correct, rewrite.
-    pub fn refresh_block(&self, block: usize) -> Result<(), PcmError> {
+    /// [`ShardedPcmDevice::read_block`] with a caller-supplied
+    /// correlation id; same scrub-debt drain semantics as
+    /// [`ShardedPcmDevice::write_block_ctx`].
+    pub fn read_block_ctx(&self, block: usize, ctx: u64) -> Result<(ReadReport, u64), PcmError> {
         let (shard, local) = self.locate(block)?;
         let now = self.now();
         let mut bank = lock_bank(&self.shards[shard]);
+        let wait_ns = self.drain_debt(shard, block, now, ctx);
+        let r = bank.read(local, now).map_err(PcmError::from);
+        self.trace_read(shard, block, now, &r, ctx);
+        drop(bank);
+        self.note_read(shard, &r);
+        r.map(|rep| (rep, wait_ns))
+    }
+
+    /// Refresh (scrub) one block: read, correct, rewrite. A
+    /// directly-issued refresh is a demand op and gets a demand
+    /// correlation id; the scrub walkers use
+    /// [`ShardedPcmDevice::refresh_block_ctx`] with the owning pass's
+    /// id instead.
+    pub fn refresh_block(&self, block: usize) -> Result<(), PcmError> {
+        self.refresh_impl(block, None)
+    }
+
+    /// [`ShardedPcmDevice::refresh_block`] with an explicit correlation
+    /// id (the scrub pass the refresh belongs to).
+    pub(crate) fn refresh_block_ctx(&self, block: usize, ctx: u64) -> Result<(), PcmError> {
+        self.refresh_impl(block, Some(ctx))
+    }
+
+    fn refresh_impl(&self, block: usize, ctx: Option<u64>) -> Result<(), PcmError> {
+        let (shard, local) = self.locate(block)?;
+        let now = self.now();
+        let mut bank = lock_bank(&self.shards[shard]);
+        let ctx = ctx.unwrap_or_else(|| self.demand_ctx(shard));
         let r = bank.refresh(local, now).map_err(PcmError::from);
         match &r {
-            Ok(_) => trace_hooks::refresh_event(&self.trace, shard, block, now, Ok(())),
+            Ok(_) => {
+                trace_hooks::refresh_event(&self.trace, shard, block, now, Ok(()), ctx);
+                // A successful refresh owes the next attributed demand
+                // op its busy window (see `causal`).
+                if self.trace.is_enabled() {
+                    self.causal.add_debt(shard, causal::refresh_debt_ns());
+                }
+            }
             Err(e) => {
                 if let Some(code) = trace_hooks::pcm_error_code(e) {
-                    trace_hooks::refresh_event(&self.trace, shard, block, now, Err(code));
+                    trace_hooks::refresh_event(&self.trace, shard, block, now, Err(code), ctx);
                 }
             }
         }
@@ -357,21 +471,25 @@ impl ShardedPcmDevice {
         let cells = self.cells_per_block as u64;
         let write = if s_shard == d_shard {
             let mut bank = lock_bank(&self.shards[s_shard]);
+            let read_ctx = self.demand_ctx(s_shard);
             let read = bank.read(s_local, now).map_err(PcmError::from);
             self.note_read(s_shard, &read);
-            self.trace_read(s_shard, src, now, &read);
+            self.trace_read(s_shard, src, now, &read, read_ctx);
             let data = read?.data;
+            let write_ctx = self.demand_ctx(d_shard);
             let w = bank.write(d_local, now, &data).map_err(PcmError::from);
-            self.trace_write(d_shard, dst, now, cells, &w);
+            self.trace_write(d_shard, dst, now, cells, &w, write_ctx);
             w
         } else {
             let (mut s_bank, mut d_bank) = self.lock_pair_ordered(s_shard, d_shard);
+            let read_ctx = self.demand_ctx(s_shard);
             let read = s_bank.read(s_local, now).map_err(PcmError::from);
             self.note_read(s_shard, &read);
-            self.trace_read(s_shard, src, now, &read);
+            self.trace_read(s_shard, src, now, &read, read_ctx);
             let data = read?.data;
+            let write_ctx = self.demand_ctx(d_shard);
             let w = d_bank.write(d_local, now, &data).map_err(PcmError::from);
-            self.trace_write(d_shard, dst, now, cells, &w);
+            self.trace_write(d_shard, dst, now, cells, &w, write_ctx);
             w
         };
         self.note_write(d_shard, cells, &write);
@@ -403,9 +521,10 @@ impl ShardedPcmDevice {
             for &i in idxs {
                 let (block, data) = requests[i];
                 let local = block / self.shards.len();
+                let ctx = self.demand_ctx(shard);
                 let r = bank.write(local, now, data).map_err(PcmError::from);
                 self.note_write(shard, cells, &r);
-                self.trace_write(shard, block, now, cells, &r);
+                self.trace_write(shard, block, now, cells, &r, ctx);
                 results[i] = Some(r);
             }
         }
@@ -435,9 +554,10 @@ impl ShardedPcmDevice {
             let mut bank = lock_bank(&self.shards[shard]);
             for &i in idxs {
                 let local = blocks[i] / self.shards.len();
+                let ctx = self.demand_ctx(shard);
                 let r = bank.read(local, now).map_err(PcmError::from);
                 self.note_read(shard, &r);
-                self.trace_read(shard, blocks[i], now, &r);
+                self.trace_read(shard, blocks[i], now, &r, ctx);
                 results[i] = Some(r);
             }
         }
@@ -478,8 +598,8 @@ impl ShardedPcmDevice {
 
 impl From<PcmDevice> for ShardedPcmDevice {
     fn from(dev: PcmDevice) -> Self {
-        let (banks, now, metrics, trace, telemetry) = dev.into_banks();
-        Self::from_banks(banks, now, metrics, trace, telemetry)
+        let (banks, now, metrics, trace, telemetry, causal) = dev.into_banks();
+        Self::from_banks(banks, now, metrics, trace, telemetry, causal)
     }
 }
 

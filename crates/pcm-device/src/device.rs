@@ -16,6 +16,7 @@
 use crate::bank::PcmBank;
 use crate::block::{BlockError, ReadReport, WriteReport, BLOCK_BYTES};
 use crate::builder::DeviceBuilder;
+use crate::causal::{self, CausalState};
 use crate::generic_block::GenericBlock;
 use crate::metrics::{self, DeviceMetrics};
 use crate::telemetry_hooks;
@@ -23,7 +24,7 @@ use crate::trace_hooks;
 use pcm_codec::enumerative::EnumerativeCode;
 use pcm_core::level::LevelDesign;
 use pcm_telemetry::TelemetryRecorder;
-use pcm_trace::Recorder;
+use pcm_trace::{Recorder, NO_CTX};
 use std::sync::Arc;
 
 /// Which block organization a device uses.
@@ -114,6 +115,7 @@ pub struct PcmDevice {
     metrics: Arc<DeviceMetrics>,
     trace: Recorder,
     telemetry: Option<Arc<TelemetryRecorder>>,
+    causal: Arc<CausalState>,
 }
 
 impl PcmDevice {
@@ -128,6 +130,7 @@ impl PcmDevice {
         metrics: Arc<DeviceMetrics>,
         trace: Recorder,
         telemetry: Option<Arc<TelemetryRecorder>>,
+        causal: Arc<CausalState>,
     ) -> Self {
         debug_assert_eq!(metrics.banks(), banks.len());
         Self {
@@ -136,6 +139,7 @@ impl PcmDevice {
             metrics,
             trace,
             telemetry,
+            causal,
         }
     }
 
@@ -148,6 +152,7 @@ impl PcmDevice {
         Arc<DeviceMetrics>,
         Recorder,
         Option<Arc<TelemetryRecorder>>,
+        Arc<CausalState>,
     ) {
         (
             self.banks,
@@ -155,7 +160,18 @@ impl PcmDevice {
             self.metrics,
             self.trace,
             self.telemetry,
+            self.causal,
         )
+    }
+
+    /// Next demand correlation id for `bank` — [`NO_CTX`] when tracing
+    /// is disabled, so untraced runs never touch the counters.
+    fn demand_ctx(&self, bank: usize) -> u64 {
+        if self.trace.is_enabled() {
+            self.causal.next_demand(bank)
+        } else {
+            NO_CTX
+        }
     }
 
     /// The observability registry: per-bank atomic counters and latency
@@ -241,6 +257,16 @@ impl PcmDevice {
 
     /// Write 64 bytes to a block.
     pub fn write_block(&mut self, block: usize, data: &[u8]) -> Result<WriteReport, BlockError> {
+        let ctx = self.demand_ctx(self.bank_of(block));
+        self.write_block_inner(block, data, ctx)
+    }
+
+    fn write_block_inner(
+        &mut self,
+        block: usize,
+        data: &[u8],
+        ctx: u64,
+    ) -> Result<WriteReport, BlockError> {
         let (bank, local) = self.locate(block);
         let now = self.now;
         let cells = self.banks[bank].cells_per_block() as u64;
@@ -262,12 +288,18 @@ impl PcmDevice {
                 Ok(rep) => Ok((rep.attempts, rep.new_faults as u64)),
                 Err(e) => Err(trace_hooks::block_error_code(e)),
             },
+            ctx,
         );
         r
     }
 
     /// Read 64 bytes from a block.
     pub fn read_block(&mut self, block: usize) -> Result<ReadReport, BlockError> {
+        let ctx = self.demand_ctx(self.bank_of(block));
+        self.read_block_inner(block, ctx)
+    }
+
+    fn read_block_inner(&mut self, block: usize, ctx: u64) -> Result<ReadReport, BlockError> {
         let (bank, local) = self.locate(block);
         let now = self.now;
         let r = self.banks[bank].read(local, now);
@@ -287,22 +319,81 @@ impl PcmDevice {
                 Ok(rep) => Ok(rep.corrected_bits as u64),
                 Err(e) => Err(trace_hooks::block_error_code(e)),
             },
+            ctx,
         );
         r
     }
 
+    /// [`PcmDevice::write_block`] with a caller-supplied correlation id
+    /// (e.g. a KV request's). Drains the bank's accumulated scrub debt
+    /// first, emitting it as a `scrub_stall` span under the caller's
+    /// ctx, and returns the drained wait alongside the report. Plain
+    /// ops never drain, so debt only surfaces on attributed requests.
+    pub fn write_block_ctx(
+        &mut self,
+        block: usize,
+        data: &[u8],
+        ctx: u64,
+    ) -> Result<(WriteReport, u64), BlockError> {
+        let bank = self.bank_of(block);
+        let wait_ns = self.drain_debt(bank, block, ctx);
+        self.write_block_inner(block, data, ctx)
+            .map(|r| (r, wait_ns))
+    }
+
+    /// [`PcmDevice::read_block`] with a caller-supplied correlation id;
+    /// same scrub-debt drain semantics as
+    /// [`PcmDevice::write_block_ctx`].
+    pub fn read_block_ctx(
+        &mut self,
+        block: usize,
+        ctx: u64,
+    ) -> Result<(ReadReport, u64), BlockError> {
+        let bank = self.bank_of(block);
+        let wait_ns = self.drain_debt(bank, block, ctx);
+        self.read_block_inner(block, ctx).map(|r| (r, wait_ns))
+    }
+
+    /// Drain `bank`'s scrub debt at issue time and emit the stall span.
+    fn drain_debt(&mut self, bank: usize, block: usize, ctx: u64) -> u64 {
+        if !self.trace.is_enabled() {
+            return 0;
+        }
+        let wait_ns = self.causal.take_debt(bank);
+        trace_hooks::scrub_stall_event(&self.trace, bank, block, self.now, wait_ns, ctx);
+        wait_ns
+    }
+
     /// Refresh (scrub) one block: read, correct, rewrite — the §1
     /// mechanism ("for every cell, at least once per refresh period, we
-    /// read, correct if needed, and re-write").
+    /// read, correct if needed, and re-write"). A directly-issued
+    /// refresh is a demand op and gets a demand correlation id; the
+    /// scrub walkers call [`PcmDevice::refresh_block_ctx`] with the
+    /// owning pass's id instead.
     pub fn refresh_block(&mut self, block: usize) -> Result<(), BlockError> {
+        let bank = self.bank_of(block);
+        let ctx = self.demand_ctx(bank);
+        self.refresh_block_ctx(block, ctx)
+    }
+
+    /// [`PcmDevice::refresh_block`] with an explicit correlation id
+    /// (the scrub pass the refresh belongs to). A successful refresh
+    /// also deposits its busy window as scrub debt on the bank, to be
+    /// drained as a ready-queue stall by the next ctx-carrying demand
+    /// op (sharded engine) — observability only, never perturbs data.
+    pub(crate) fn refresh_block_ctx(&mut self, block: usize, ctx: u64) -> Result<(), BlockError> {
         let (bank, local) = self.locate(block);
         let now = self.now;
         let r = self.banks[bank].refresh(local, now);
         match &r {
-            Ok(corrected) => self
-                .metrics
-                .bank(bank)
-                .record_scrub(*corrected, metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS),
+            Ok(corrected) => {
+                self.metrics
+                    .bank(bank)
+                    .record_scrub(*corrected, metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS);
+                if self.trace.is_enabled() {
+                    self.causal.add_debt(bank, causal::refresh_debt_ns());
+                }
+            }
             Err(_) => self.metrics.bank(bank).record_failure(),
         }
         trace_hooks::refresh_event(
@@ -313,6 +404,7 @@ impl PcmDevice {
             r.as_ref()
                 .map(|_| ())
                 .map_err(trace_hooks::block_error_code),
+            ctx,
         );
         r.map(|_| ())
     }

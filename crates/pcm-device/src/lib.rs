@@ -56,6 +56,7 @@ pub mod array;
 pub mod bank;
 pub mod block;
 pub mod builder;
+mod causal;
 pub mod concurrent;
 pub mod device;
 pub mod error;
@@ -81,8 +82,12 @@ pub use refresh::{RefreshController, RefreshReport};
 pub use remap::RemappedDevice;
 pub use scrub::{BankScrubCursor, ScrubScheduler, ShardedScrubber};
 // The tracing vocabulary, re-exported so device users need not depend
-// on pcm-trace directly.
-pub use pcm_trace::{Recorder, TraceConfig, TraceDecodeError};
+// on pcm-trace directly. The ctx items are the correlation-id scheme
+// the profiling layer shares with `pcm-store`.
+pub use pcm_trace::{
+    ctx_base, ctx_class, ctx_is_index, ctx_seq, ctx_stream, jsonl, pack_ctx, CtxClass, CtxCounter,
+    Recorder, TraceConfig, TraceDecodeError, CTX_INDEX_FLAG, NO_CTX,
+};
 pub use telemetry_hooks::telemetry_counters;
 pub use wear_level::{GapMove, StartGap, WearLeveledDevice};
 

@@ -38,6 +38,13 @@ pub const READ_BUSY_NS: u64 = 200;
 /// [`write_busy_ns`].
 pub const WRITE_BUSY_NS: u64 = 1000;
 
+/// Modeled ECC-decode time per corrected symbol, ns. Decode work rides
+/// *inside* the read busy window (the BCH pipeline overlaps the array
+/// access), so profile attribution carves `corrected ×` this out of the
+/// tail of the 200 ns read rather than extending it; the carve-out is
+/// clamped to the window (see `trace_hooks::read_event`).
+pub const ECC_DECODE_NS_PER_SYMBOL: u64 = 16;
+
 /// Modeled busy time of a block write, ns: the paper's 1 µs, scaled by
 /// how many extra verify iterations the write needed beyond one pass
 /// over its cells.

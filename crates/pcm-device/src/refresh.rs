@@ -7,6 +7,7 @@
 //! consumes — the quantity that throttles demand traffic in §7.
 
 use crate::block::BlockError;
+use crate::causal;
 use crate::device::PcmDevice;
 use crate::trace_hooks;
 
@@ -72,23 +73,20 @@ impl RefreshController {
         let mut report = RefreshReport::default();
         let step = self.per_block_period(device);
         // Per-bank (first launch, last launch, count) accumulators for
-        // the scrub-pass trace spans; empty when tracing is disabled.
-        let mut passes: Vec<Option<(u64, u64, u64)>> = if device.tracer().is_enabled() {
-            vec![None; device.banks()]
-        } else {
-            Vec::new()
-        };
+        // the scrub-pass trace spans; the first launch also names the
+        // pass's correlation id, which every refresh in the pass carries.
+        let mut passes: Vec<Option<(u64, u64, u64)>> = vec![None; device.banks()];
         while self.tick as f64 * step <= t {
             let cursor = ((self.tick - 1) % device.blocks() as u64) as usize;
-            match device.refresh_block(cursor) {
+            let bank = device.bank_of(cursor);
+            let first = passes[bank].map_or(self.tick, |(f, _, _)| f);
+            match device.refresh_block_ctx(cursor, causal::scrub_ctx(bank, first)) {
                 Ok(()) => report.blocks_refreshed += 1,
                 Err(BlockError::Uncorrectable)
                 | Err(BlockError::WearoutExhausted)
                 | Err(BlockError::WriteFailed) => report.failures += 1,
             }
-            if !passes.is_empty() {
-                trace_hooks::track_pass(&mut passes[device.bank_of(cursor)], self.tick);
-            }
+            trace_hooks::track_pass(&mut passes[bank], self.tick);
             self.tick += 1;
         }
         for (bank, pass) in passes.iter().enumerate() {

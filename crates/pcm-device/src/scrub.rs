@@ -37,6 +37,7 @@
 //!   sequential reference (cross-validated in `tests/proptests.rs` and
 //!   `tests/concurrent_scrub.rs`).
 
+use crate::causal;
 use crate::concurrent::ShardedPcmDevice;
 use crate::refresh::RefreshReport;
 use crate::trace_hooks;
@@ -175,7 +176,8 @@ impl BankScrubCursor {
         let mut pass: Option<(u64, u64, u64)> = None;
         while self.next_due() <= t {
             let launch = self.next_tick();
-            match dev.refresh_block(self.next_block()) {
+            let first = pass.map_or(launch, |(f, _, _)| f);
+            match dev.refresh_block_ctx(self.next_block(), causal::scrub_ctx(self.bank, first)) {
                 Ok(()) => report.blocks_refreshed += 1,
                 Err(_) => report.failures += 1,
             }
@@ -239,20 +241,16 @@ impl ShardedScrubber {
     pub fn run_until(&mut self, dev: &ShardedPcmDevice, t: f64) -> RefreshReport {
         let mut report = RefreshReport::default();
         // Per-bank pass accumulators (see `RefreshController::run_until`).
-        let mut passes: Vec<Option<(u64, u64, u64)>> = if dev.tracer().is_enabled() {
-            vec![None; self.sched.banks]
-        } else {
-            Vec::new()
-        };
+        let mut passes: Vec<Option<(u64, u64, u64)>> = vec![None; self.sched.banks];
         while self.sched.due_time(self.tick) <= t {
             let block = self.sched.block_of(self.tick);
-            match dev.refresh_block(block) {
+            let bank = block % self.sched.banks;
+            let first = passes[bank].map_or(self.tick, |(f, _, _)| f);
+            match dev.refresh_block_ctx(block, causal::scrub_ctx(bank, first)) {
                 Ok(()) => report.blocks_refreshed += 1,
                 Err(_) => report.failures += 1,
             }
-            if !passes.is_empty() {
-                trace_hooks::track_pass(&mut passes[block % self.sched.banks], self.tick);
-            }
+            trace_hooks::track_pass(&mut passes[bank], self.tick);
             self.tick += 1;
         }
         for (bank, pass) in passes.iter().enumerate() {

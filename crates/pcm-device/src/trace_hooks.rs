@@ -15,6 +15,7 @@
 //! one block-scrub cost, both derived from integer ticks.
 
 use crate::block::BlockError;
+use crate::causal;
 use crate::error::PcmError;
 use crate::metrics;
 use pcm_trace::{secs_to_ns, OpKind, Recorder, NO_BLOCK};
@@ -39,7 +40,8 @@ pub(crate) fn pcm_error_code(e: &PcmError) -> Option<u64> {
 }
 
 /// A completed (or failed) block write: `outcome` is
-/// `Ok((attempts, new_faults))` or `Err(code)`.
+/// `Ok((attempts, new_faults))` or `Err(code)`. `ctx` is the issuing
+/// request's correlation id ([`pcm_trace::NO_CTX`] for untracked ops).
 pub(crate) fn write_event(
     rec: &Recorder,
     bank: usize,
@@ -47,32 +49,38 @@ pub(crate) fn write_event(
     now: f64,
     cells: u64,
     outcome: Result<(u64, u64), u64>,
+    ctx: u64,
 ) {
     if !rec.is_enabled() {
         return;
     }
     let t = secs_to_ns(now);
     match outcome {
-        Ok((attempts, new_faults)) => rec.span(
+        Ok((attempts, new_faults)) => rec.span_ctx(
             OpKind::Write,
             bank as u32,
             block as u32,
             (t, t + metrics::write_busy_ns(attempts, cells)),
             (attempts, new_faults),
+            ctx,
         ),
-        Err(code) => rec.instant(OpKind::Failure, bank as u32, block as u32, t, code),
+        Err(code) => rec.instant_ctx(OpKind::Failure, bank as u32, block as u32, t, code, ctx),
     }
 }
 
 /// A completed (or failed) block read: `outcome` is corrected symbols
 /// or an error code. Nonzero correction additionally emits an
-/// `ecc_decode` instant at the end of the read window.
+/// `ecc_decode` span nested at the tail of the read window — decode
+/// work is carved *out of* the 200 ns media window (the BCH pipeline
+/// overlaps the array access), clamped so it can never extend past the
+/// read span it belongs to.
 pub(crate) fn read_event(
     rec: &Recorder,
     bank: usize,
     block: usize,
     now: f64,
     outcome: Result<u64, u64>,
+    ctx: u64,
 ) {
     if !rec.is_enabled() {
         return;
@@ -80,24 +88,31 @@ pub(crate) fn read_event(
     let t = secs_to_ns(now);
     match outcome {
         Ok(corrected) => {
-            rec.span(
+            rec.span_ctx(
                 OpKind::Read,
                 bank as u32,
                 block as u32,
                 (t, t + metrics::READ_BUSY_NS),
                 (0, corrected),
+                ctx,
             );
             if corrected > 0 {
-                rec.instant(
+                let decode_ns =
+                    (corrected * metrics::ECC_DECODE_NS_PER_SYMBOL).min(metrics::READ_BUSY_NS);
+                rec.span_ctx(
                     OpKind::EccDecode,
                     bank as u32,
                     block as u32,
-                    t + metrics::READ_BUSY_NS,
-                    corrected,
+                    (
+                        t + metrics::READ_BUSY_NS - decode_ns,
+                        t + metrics::READ_BUSY_NS,
+                    ),
+                    (corrected, corrected),
+                    ctx,
                 );
             }
         }
-        Err(code) => rec.instant(OpKind::Failure, bank as u32, block as u32, t, code),
+        Err(code) => rec.instant_ctx(OpKind::Failure, bank as u32, block as u32, t, code, ctx),
     }
 }
 
@@ -108,21 +123,49 @@ pub(crate) fn refresh_event(
     block: usize,
     now: f64,
     outcome: Result<(), u64>,
+    ctx: u64,
 ) {
     if !rec.is_enabled() {
         return;
     }
     let t = secs_to_ns(now);
     match outcome {
-        Ok(()) => rec.span(
+        Ok(()) => rec.span_ctx(
             OpKind::Refresh,
             bank as u32,
             block as u32,
             (t, t + metrics::READ_BUSY_NS + metrics::WRITE_BUSY_NS),
             (0, 0),
+            ctx,
         ),
-        Err(code) => rec.instant(OpKind::Failure, bank as u32, block as u32, t, code),
+        Err(code) => rec.instant_ctx(OpKind::Failure, bank as u32, block as u32, t, code, ctx),
     }
+}
+
+/// The ready-queue stall a ctx-carrying demand op served before its own
+/// busy window: the bank's accumulated scrub debt, drained at issue
+/// time. Emitted as a span `[now, now + wait_ns]` carrying the
+/// requester's ctx (payloads: drained ns on both phases).
+pub(crate) fn scrub_stall_event(
+    rec: &Recorder,
+    bank: usize,
+    block: usize,
+    now: f64,
+    wait_ns: u64,
+    ctx: u64,
+) {
+    if !rec.is_enabled() || wait_ns == 0 {
+        return;
+    }
+    let t = secs_to_ns(now);
+    rec.span_ctx(
+        OpKind::ScrubStall,
+        bank as u32,
+        block as u32,
+        (t, t + wait_ns),
+        (wait_ns, wait_ns),
+        ctx,
+    );
 }
 
 /// A block retirement performed by `RemappedDevice`: an instant-width
@@ -161,7 +204,9 @@ pub(crate) fn track_pass(slot: &mut Option<(u64, u64, u64)>, tick: u64) {
 /// Emit one bank's scrub-pass span after a scheduler walk: from the
 /// first launch deadline to the last launch deadline plus one
 /// block-scrub cost. Begin payload = first tick (a stable pass id),
-/// end payload = launches in the pass.
+/// end payload = launches in the pass. The span carries the pass's
+/// correlation id, derived from the schedule (`bank`, first tick) so
+/// every walker emits the identical id (see [`causal::scrub_ctx`]).
 pub(crate) fn scrub_pass_event(
     rec: &Recorder,
     bank: usize,
@@ -173,7 +218,7 @@ pub(crate) fn scrub_pass_event(
         return;
     }
     if let Some((first, last, launches)) = pass {
-        rec.span(
+        rec.span_ctx(
             OpKind::ScrubPass,
             bank as u32,
             NO_BLOCK,
@@ -182,6 +227,7 @@ pub(crate) fn scrub_pass_event(
                 secs_to_ns(last as f64 * step_secs + block_cost_secs),
             ),
             (first, launches),
+            causal::scrub_ctx(bank, first),
         );
     }
 }

@@ -18,6 +18,9 @@
 //!   across OS threads, bit-identical to the sequential run.
 //! * [`trace_report`] — offline analysis of `pcm-trace` JSONL files
 //!   (the model behind `cargo run -p xtask -- trace-report`).
+//! * [`profile`] — causal request profiling: correlation-id grouping,
+//!   per-request latency attribution into named buckets, and folded
+//!   flamegraph export (behind `cargo run -p xtask -- profile-report`).
 //!
 //! ```
 //! use pcm_sim::config::{DesignPoint, EnergyModel, SimParams};
@@ -37,6 +40,7 @@
 pub mod config;
 pub mod engine;
 pub mod parallel;
+pub mod profile;
 pub mod report;
 pub mod trace_file;
 pub mod trace_report;
@@ -47,6 +51,7 @@ pub use engine::{
     simulate, simulate_ops, simulate_ops_traced, simulate_telemetry, simulate_traced, SimResult,
 };
 pub use parallel::{figure16_parallel, simulate_matrix};
+pub use profile::{ChildSpan, KindAttribution, LatencyBuckets, Profile, RequestProfile};
 pub use report::{figure16, summary_gains, Figure16Bar};
 pub use trace_file::{FileTrace, TraceParseError};
 pub use trace_report::{analyze, analyze_top, TraceReport};

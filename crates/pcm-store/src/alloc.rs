@@ -15,7 +15,9 @@
 
 use crate::error::{read_failure, StoreError};
 use crate::page::{Page, PageDefect, PageType, NO_PAGE};
+use crate::store::OpCost;
 use pcm_device::ShardedPcmDevice;
+use pcm_trace::NO_CTX;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Magic ("PCMSTOR1", little-endian) identifying a formatted device.
@@ -117,9 +119,21 @@ impl Allocator {
 
     /// Pop one page off the free list.
     pub fn allocate(&self, dev: &ShardedPcmDevice) -> Result<u32, StoreError> {
+        self.allocate_ctx(dev, NO_CTX, &mut OpCost::default())
+    }
+
+    /// [`Allocator::allocate`] under a correlation id: the free-list
+    /// node read and the superblock write-through carry `ctx` and are
+    /// charged to `cost` (index traffic if `ctx` is index-flagged).
+    pub(crate) fn allocate_ctx(
+        &self,
+        dev: &ShardedPcmDevice,
+        ctx: u64,
+        cost: &mut OpCost,
+    ) -> Result<u32, StoreError> {
         let mut st = self.lock_state();
-        let page = pop_free(dev, &mut st)?;
-        write_super(dev, *st)?;
+        let page = pop_free(dev, &mut st, ctx, cost)?;
+        write_super(dev, *st, ctx, cost)?;
         Ok(page)
     }
 
@@ -127,58 +141,87 @@ impl Allocator {
     /// already popped are pushed back and `StoreFull` is returned, so a
     /// failed allocation leaks nothing.
     pub fn allocate_chain(&self, dev: &ShardedPcmDevice, n: usize) -> Result<Vec<u32>, StoreError> {
+        self.allocate_chain_ctx(dev, n, NO_CTX, &mut OpCost::default())
+    }
+
+    /// [`Allocator::allocate_chain`] under a correlation id.
+    pub(crate) fn allocate_chain_ctx(
+        &self,
+        dev: &ShardedPcmDevice,
+        n: usize,
+        ctx: u64,
+        cost: &mut OpCost,
+    ) -> Result<Vec<u32>, StoreError> {
         let mut st = self.lock_state();
         if (st.free_count as usize) < n {
             return Err(StoreError::StoreFull);
         }
         let mut pages = Vec::with_capacity(n);
         for _ in 0..n {
-            match pop_free(dev, &mut st) {
+            match pop_free(dev, &mut st, ctx, cost) {
                 Ok(p) => pages.push(p),
                 Err(e) => {
                     for &p in pages.iter().rev() {
-                        push_free(dev, &mut st, p)?;
+                        push_free(dev, &mut st, p, ctx, cost)?;
                     }
-                    write_super(dev, *st)?;
+                    write_super(dev, *st, ctx, cost)?;
                     return Err(e);
                 }
             }
         }
-        write_super(dev, *st)?;
+        write_super(dev, *st, ctx, cost)?;
         Ok(pages)
     }
 
     /// Push a page back onto the free list.
     pub fn free(&self, dev: &ShardedPcmDevice, page: u32) -> Result<(), StoreError> {
         let mut st = self.lock_state();
-        push_free(dev, &mut st, page)?;
-        write_super(dev, *st)?;
+        let cost = &mut OpCost::default();
+        push_free(dev, &mut st, page, NO_CTX, cost)?;
+        write_super(dev, *st, NO_CTX, cost)?;
         Ok(())
     }
 
     /// Push a whole chain of pages back in one critical section.
     pub fn free_chain(&self, dev: &ShardedPcmDevice, pages: &[u32]) -> Result<(), StoreError> {
+        self.free_chain_ctx(dev, pages, NO_CTX, &mut OpCost::default())
+    }
+
+    /// [`Allocator::free_chain`] under a correlation id.
+    pub(crate) fn free_chain_ctx(
+        &self,
+        dev: &ShardedPcmDevice,
+        pages: &[u32],
+        ctx: u64,
+        cost: &mut OpCost,
+    ) -> Result<(), StoreError> {
         if pages.is_empty() {
             return Ok(());
         }
         let mut st = self.lock_state();
         for &p in pages {
-            push_free(dev, &mut st, p)?;
+            push_free(dev, &mut st, p, ctx, cost)?;
         }
-        write_super(dev, *st)?;
+        write_super(dev, *st, ctx, cost)?;
         Ok(())
     }
 }
 
 /// Pop the head free page, following its on-device `next` link.
-fn pop_free(dev: &ShardedPcmDevice, st: &mut Superblock) -> Result<u32, StoreError> {
+fn pop_free(
+    dev: &ShardedPcmDevice,
+    st: &mut Superblock,
+    ctx: u64,
+    cost: &mut OpCost,
+) -> Result<u32, StoreError> {
     let head = st.free_head;
     if head == NO_PAGE || st.free_count == 0 {
         return Err(StoreError::StoreFull);
     }
-    let report = dev
-        .read_block(head as usize)
+    let (report, wait_ns) = dev
+        .read_block_ctx(head as usize, ctx)
         .map_err(|e| read_failure(head, e))?;
+    cost.charge_read(ctx, wait_ns);
     let node = Page::decode(&report.data)
         .map_err(|defect| StoreError::CorruptPage { page: head, defect })?;
     if node.page_type != PageType::Free {
@@ -194,20 +237,35 @@ fn pop_free(dev: &ShardedPcmDevice, st: &mut Superblock) -> Result<u32, StoreErr
 
 /// Write `page` as a free-list node pointing at the current head, then
 /// advance the head.
-fn push_free(dev: &ShardedPcmDevice, st: &mut Superblock, page: u32) -> Result<(), StoreError> {
+fn push_free(
+    dev: &ShardedPcmDevice,
+    st: &mut Superblock,
+    page: u32,
+    ctx: u64,
+    cost: &mut OpCost,
+) -> Result<(), StoreError> {
     let mut node = Page::empty(PageType::Free);
     node.next = st.free_head;
-    dev.write_block(page as usize, &node.encode())
+    let (rep, wait_ns) = dev
+        .write_block_ctx(page as usize, &node.encode(), ctx)
         .map_err(StoreError::from)?;
+    cost.charge_write(ctx, wait_ns, dev.write_busy_window_ns(&rep));
     st.free_head = page;
     st.free_count += 1;
     Ok(())
 }
 
 /// Write-through: seal the superblock mirror onto page 0.
-fn write_super(dev: &ShardedPcmDevice, sb: Superblock) -> Result<(), StoreError> {
-    dev.write_block(0, &sb.to_page().encode())
+fn write_super(
+    dev: &ShardedPcmDevice,
+    sb: Superblock,
+    ctx: u64,
+    cost: &mut OpCost,
+) -> Result<(), StoreError> {
+    let (rep, wait_ns) = dev
+        .write_block_ctx(0, &sb.to_page().encode(), ctx)
         .map_err(StoreError::from)?;
+    cost.charge_write(ctx, wait_ns, dev.write_busy_window_ns(&rep));
     Ok(())
 }
 

@@ -47,5 +47,7 @@ pub mod workload;
 pub use alloc::{Allocator, Superblock};
 pub use error::StoreError;
 pub use page::{Page, PageDefect, PageType, NO_PAGE, PAGE_BYTES, PAGE_PAYLOAD_BYTES};
-pub use store::{pages_for_value, PcmStore, StoreConfig, MAX_VALUE_BYTES};
+pub use store::{
+    pages_for_value, PcmStore, StoreConfig, StoreSession, ANON_KV_STREAM, MAX_VALUE_BYTES,
+};
 pub use workload::{Mix, OpTotals, PhasedConfig, WorkloadConfig, WorkloadError, WorkloadReport};

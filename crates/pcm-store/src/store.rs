@@ -26,9 +26,12 @@ use crate::alloc::{format_free_list, Allocator, Superblock};
 use crate::directory::{bucket_of, bucket_page, entries, mix64, set_entries, ENTRIES_PER_PAGE};
 use crate::error::{read_failure, StoreError};
 use crate::page::{Page, PageDefect, PageType, FLAG_CHAIN_HEAD, NO_PAGE, PAGE_PAYLOAD_BYTES};
-use pcm_device::metrics::{READ_BUSY_NS, WRITE_BUSY_NS};
+use pcm_device::metrics::READ_BUSY_NS;
 use pcm_device::ShardedPcmDevice;
-use pcm_trace::{secs_to_ns, OpKind};
+use pcm_trace::{
+    ctx_is_index, pack_ctx, secs_to_ns, CtxClass, CtxCounter, OpKind, CTX_INDEX_FLAG, NO_CTX,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Longest supported value chain, pages.
@@ -60,22 +63,83 @@ impl Default for StoreConfig {
     }
 }
 
+/// The reserved ctx stream for KV ops issued without a [`StoreSession`]
+/// (plain `get`/`put`/`delete`). Sequence numbers on this stream come
+/// from a store-global atomic, so they are *not* thread-count invariant
+/// — callers who need invariant ids use sessions with explicit streams.
+pub const ANON_KV_STREAM: u64 = 0x1FFF_FFFF;
+
 /// Device reads/writes one KV op issued (drives span durations and the
-/// "pages touched" trace payload).
+/// "pages touched" trace payload), split by what the pages were for:
+/// index (directory walks, allocator superblock/free-list traffic)
+/// versus value data, plus the scrub-debt stall the op drained.
 #[derive(Debug, Clone, Copy, Default)]
-struct OpCost {
-    reads: u64,
-    writes: u64,
+pub(crate) struct OpCost {
+    /// Value-chain page reads.
+    pub data_reads: u64,
+    /// Value-chain page writes.
+    pub data_writes: u64,
+    /// Directory/allocator page reads.
+    pub index_reads: u64,
+    /// Directory/allocator page writes (incl. superblock, free list).
+    pub index_writes: u64,
+    /// Busy ns of the write spans issued. Accumulated (not derived
+    /// from the count) because a retried program runs longer than the
+    /// nominal window and the trace span covers the retries.
+    pub write_busy_ns: u64,
+    /// Scrub-debt stall drained by this op's device calls, ns.
+    pub scrub_wait_ns: u64,
 }
 
 impl OpCost {
     fn touched(&self) -> u64 {
-        self.reads + self.writes
+        self.data_reads + self.data_writes + self.index_reads + self.index_writes
     }
 
-    /// Modeled duration: nominal busy time of the device ops issued.
+    /// Record one page read/write against the right class, as named by
+    /// the ctx's index flag, plus any scrub stall the device drained.
+    pub(crate) fn charge_read(&mut self, ctx: u64, wait_ns: u64) {
+        if ctx_is_index(ctx) {
+            self.index_reads += 1;
+        } else {
+            self.data_reads += 1;
+        }
+        self.scrub_wait_ns += wait_ns;
+    }
+
+    /// Write-side counterpart of [`OpCost::charge_read`]. `busy_ns` is
+    /// the write's traced busy window
+    /// ([`ShardedPcmDevice::write_busy_window_ns`]).
+    pub(crate) fn charge_write(&mut self, ctx: u64, wait_ns: u64, busy_ns: u64) {
+        if ctx_is_index(ctx) {
+            self.index_writes += 1;
+        } else {
+            self.data_writes += 1;
+        }
+        self.write_busy_ns += busy_ns;
+        self.scrub_wait_ns += wait_ns;
+    }
+
+    /// Modeled duration: busy time of the device ops issued (reads are
+    /// a fixed window; writes accumulate their traced, retry-inclusive
+    /// windows), plus the scrub-debt stall served before them. This is
+    /// exactly the sum of the op's child span durations in the trace,
+    /// which is what makes per-request bucket attribution
+    /// residual-free.
     fn model_ns(&self) -> u64 {
-        self.reads * READ_BUSY_NS + self.writes * WRITE_BUSY_NS
+        (self.data_reads + self.index_reads) * READ_BUSY_NS
+            + self.write_busy_ns
+            + self.scrub_wait_ns
+    }
+}
+
+/// Mark a request ctx as performing index/metadata work. [`NO_CTX`]
+/// stays [`NO_CTX`] — an untracked op must not gain a phantom id.
+fn index_ctx(ctx: u64) -> u64 {
+    if ctx == NO_CTX {
+        NO_CTX
+    } else {
+        ctx | CTX_INDEX_FLAG
     }
 }
 
@@ -102,6 +166,47 @@ pub struct PcmStore {
     alloc: Allocator,
     dir_buckets: u32,
     stripes: Vec<Mutex<()>>,
+    /// Sequence counter for the [`ANON_KV_STREAM`] correlation stream.
+    anon_seq: AtomicU64,
+}
+
+/// A correlation-id session over a store: every op issued through it
+/// carries a ctx from one private `(stream, seq)` counter, so the id
+/// stream depends only on how many ops *this session* has issued — not
+/// on thread count or cross-session interleaving.
+pub struct StoreSession<'a> {
+    store: &'a PcmStore,
+    ctx: CtxCounter,
+}
+
+impl StoreSession<'_> {
+    /// Next ctx for one op; [`NO_CTX`] while tracing is disabled so the
+    /// untraced path stays branch-cheap and event-free.
+    fn next_ctx(&mut self) -> u64 {
+        if self.store.dev.tracer().is_enabled() {
+            self.ctx.allocate()
+        } else {
+            NO_CTX
+        }
+    }
+
+    /// [`PcmStore::get`] under this session's correlation stream.
+    pub fn get(&mut self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let ctx = self.next_ctx();
+        self.store.get_with_ctx(key, ctx)
+    }
+
+    /// [`PcmStore::put`] under this session's correlation stream.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        let ctx = self.next_ctx();
+        self.store.put_with_ctx(key, value, ctx)
+    }
+
+    /// [`PcmStore::delete`] under this session's correlation stream.
+    pub fn delete(&mut self, key: u64) -> Result<bool, StoreError> {
+        let ctx = self.next_ctx();
+        self.store.delete_with_ctx(key, ctx)
+    }
 }
 
 impl PcmStore {
@@ -168,6 +273,30 @@ impl PcmStore {
             alloc: Allocator::new(sb),
             dir_buckets: sb.dir_buckets,
             stripes: (0..stripe_count).map(|_| Mutex::new(())).collect(),
+            anon_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A correlation-id session on stream `stream` (low 29 bits used).
+    /// Streams 0 .. [`ANON_KV_STREAM`] are caller-owned; two sessions on
+    /// the same stream produce colliding ids, so give each logical
+    /// requester (actor, connection, shard) its own stream.
+    pub fn session(&self, stream: u64) -> StoreSession<'_> {
+        StoreSession {
+            store: self,
+            ctx: CtxCounter::new(CtxClass::Kv, stream),
+        }
+    }
+
+    /// Ctx for a sessionless op: the shared [`ANON_KV_STREAM`] counter
+    /// when tracing is enabled, [`NO_CTX`] otherwise.
+    fn auto_ctx(&self) -> u64 {
+        if self.dev.tracer().is_enabled() {
+            // pcm-lint: atomic(counter)
+            let seq = self.anon_seq.fetch_add(1, Ordering::Relaxed);
+            pack_ctx(CtxClass::Kv, ANON_KV_STREAM, seq as u32)
+        } else {
+            NO_CTX
         }
     }
 
@@ -210,19 +339,25 @@ impl PcmStore {
     /// Look up `key`. Returns the stored value, `None` on a miss, or
     /// [`StoreError::CorruptPage`] — never wrong bytes.
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.get_with_ctx(key, self.auto_ctx())
+    }
+
+    /// [`PcmStore::get`] under an explicit correlation id (see
+    /// [`PcmStore::session`] for thread-invariant id streams).
+    pub fn get_with_ctx(&self, key: u64, ctx: u64) -> Result<Option<Vec<u8>>, StoreError> {
         let bucket = bucket_of(key, self.dir_buckets);
         let guard = self.lock_stripe(bucket);
         let mut cost = OpCost::default();
-        let result = match self.find_slot(key, bucket, &mut cost)? {
+        let result = match self.find_slot(key, bucket, ctx, &mut cost)? {
             Slot::Found { list, pos, .. } => {
                 let head = list[pos].1;
-                let (_, value) = self.walk_chain(key, head, &mut cost)?;
+                let (_, value) = self.walk_chain(key, head, ctx, &mut cost)?;
                 Some(value)
             }
             Slot::Absent { .. } => None,
         };
         drop(guard);
-        self.emit(OpKind::KvGet, key, bucket, &cost);
+        self.emit(OpKind::KvGet, key, bucket, ctx, &cost);
         Ok(result)
     }
 
@@ -230,29 +365,39 @@ impl PcmStore {
     /// allocated and fully written before the directory flips to it, and
     /// the old chain (if any) is freed last.
     pub fn put(&self, key: u64, value: &[u8]) -> Result<(), StoreError> {
+        self.put_with_ctx(key, value, self.auto_ctx())
+    }
+
+    /// [`PcmStore::put`] under an explicit correlation id (see
+    /// [`PcmStore::session`] for thread-invariant id streams).
+    pub fn put_with_ctx(&self, key: u64, value: &[u8], ctx: u64) -> Result<(), StoreError> {
         if value.len() > MAX_VALUE_BYTES {
             return Err(StoreError::ValueTooLarge {
                 len: value.len(),
                 max: MAX_VALUE_BYTES,
             });
         }
+        let ictx = index_ctx(ctx);
         let bucket = bucket_of(key, self.dir_buckets);
         let guard = self.lock_stripe(bucket);
         let mut cost = OpCost::default();
-        let slot = self.find_slot(key, bucket, &mut cost)?;
+        let slot = self.find_slot(key, bucket, ctx, &mut cost)?;
         // Read the old chain up front: if it is corrupt the put aborts
         // before mutating anything, and the key keeps reporting corrupt.
         let old_pages = match &slot {
             Slot::Found { list, pos, .. } => {
-                let (pages, _) = self.walk_chain(key, list[*pos].1, &mut cost)?;
+                let (pages, _) = self.walk_chain(key, list[*pos].1, ctx, &mut cost)?;
                 pages
             }
             Slot::Absent { .. } => Vec::new(),
         };
-        let chain = self
-            .alloc
-            .allocate_chain(&self.dev, pages_for_value(value.len()))?;
-        self.write_chain(key, value, &chain, &mut cost)?;
+        let chain = self.alloc.allocate_chain_ctx(
+            &self.dev,
+            pages_for_value(value.len()),
+            ictx,
+            &mut cost,
+        )?;
+        self.write_chain(key, value, &chain, ctx, &mut cost)?;
         let new_head = chain[0];
         match slot {
             Slot::Found {
@@ -263,7 +408,7 @@ impl PcmStore {
             } => {
                 list[pos].1 = new_head;
                 set_entries(&mut page, &list);
-                self.write_page(page_id, &page, &mut cost)?;
+                self.write_page(page_id, &page, ictx, &mut cost)?;
             }
             Slot::Absent {
                 page_id,
@@ -273,39 +418,48 @@ impl PcmStore {
                 if list.len() < ENTRIES_PER_PAGE {
                     list.push((key, new_head));
                     set_entries(&mut page, &list);
-                    self.write_page(page_id, &page, &mut cost)?;
+                    self.write_page(page_id, &page, ictx, &mut cost)?;
                 } else {
                     // Chain a fresh overflow index page off the tail. If
                     // allocation fails, return the value chain too so a
                     // full store leaks nothing.
-                    let overflow = match self.alloc.allocate(&self.dev) {
+                    let overflow = match self.alloc.allocate_ctx(&self.dev, ictx, &mut cost) {
                         Ok(p) => p,
                         Err(e) => {
-                            self.alloc.free_chain(&self.dev, &chain)?;
+                            self.alloc
+                                .free_chain_ctx(&self.dev, &chain, ictx, &mut cost)?;
                             return Err(e);
                         }
                     };
                     let mut fresh = Page::empty(PageType::Index);
                     set_entries(&mut fresh, &[(key, new_head)]);
-                    self.write_page(overflow, &fresh, &mut cost)?;
+                    self.write_page(overflow, &fresh, ictx, &mut cost)?;
                     page.next = overflow;
                     set_entries(&mut page, &list);
-                    self.write_page(page_id, &page, &mut cost)?;
+                    self.write_page(page_id, &page, ictx, &mut cost)?;
                 }
             }
         }
-        self.alloc.free_chain(&self.dev, &old_pages)?;
+        self.alloc
+            .free_chain_ctx(&self.dev, &old_pages, ictx, &mut cost)?;
         drop(guard);
-        self.emit(OpKind::KvPut, key, bucket, &cost);
+        self.emit(OpKind::KvPut, key, bucket, ctx, &cost);
         Ok(())
     }
 
     /// Remove `key`. Returns whether it existed.
     pub fn delete(&self, key: u64) -> Result<bool, StoreError> {
+        self.delete_with_ctx(key, self.auto_ctx())
+    }
+
+    /// [`PcmStore::delete`] under an explicit correlation id (see
+    /// [`PcmStore::session`] for thread-invariant id streams).
+    pub fn delete_with_ctx(&self, key: u64, ctx: u64) -> Result<bool, StoreError> {
+        let ictx = index_ctx(ctx);
         let bucket = bucket_of(key, self.dir_buckets);
         let guard = self.lock_stripe(bucket);
         let mut cost = OpCost::default();
-        let existed = match self.find_slot(key, bucket, &mut cost)? {
+        let existed = match self.find_slot(key, bucket, ctx, &mut cost)? {
             Slot::Absent { .. } => false,
             Slot::Found {
                 page_id,
@@ -314,44 +468,60 @@ impl PcmStore {
                 pos,
             } => {
                 let head = list[pos].1;
-                let (pages, _) = self.walk_chain(key, head, &mut cost)?;
+                let (pages, _) = self.walk_chain(key, head, ctx, &mut cost)?;
                 list.remove(pos);
                 set_entries(&mut page, &list);
-                self.write_page(page_id, &page, &mut cost)?;
-                self.alloc.free_chain(&self.dev, &pages)?;
+                self.write_page(page_id, &page, ictx, &mut cost)?;
+                self.alloc
+                    .free_chain_ctx(&self.dev, &pages, ictx, &mut cost)?;
                 true
             }
         };
         drop(guard);
-        self.emit(OpKind::KvDelete, key, bucket, &cost);
+        self.emit(OpKind::KvDelete, key, bucket, ctx, &cost);
         Ok(existed)
     }
 
-    /// Read and CRC-verify one page.
-    fn read_page(&self, page: u32, cost: &mut OpCost) -> Result<Page, StoreError> {
-        let report = self
+    /// Read and CRC-verify one page under `ctx` (index-flagged ctx pages
+    /// count as index traffic; any drained scrub stall is charged too).
+    fn read_page(&self, page: u32, ctx: u64, cost: &mut OpCost) -> Result<Page, StoreError> {
+        let (report, wait_ns) = self
             .dev
-            .read_block(page as usize)
+            .read_block_ctx(page as usize, ctx)
             .map_err(|e| read_failure(page, e))?;
-        cost.reads += 1;
+        cost.charge_read(ctx, wait_ns);
         Page::decode(&report.data).map_err(|defect| StoreError::CorruptPage { page, defect })
     }
 
-    /// Seal and write one page.
-    fn write_page(&self, page: u32, p: &Page, cost: &mut OpCost) -> Result<(), StoreError> {
-        self.dev
-            .write_block(page as usize, &p.encode())
+    /// Seal and write one page under `ctx`.
+    fn write_page(
+        &self,
+        page: u32,
+        p: &Page,
+        ctx: u64,
+        cost: &mut OpCost,
+    ) -> Result<(), StoreError> {
+        let (rep, wait_ns) = self
+            .dev
+            .write_block_ctx(page as usize, &p.encode(), ctx)
             .map_err(StoreError::from)?;
-        cost.writes += 1;
+        cost.charge_write(ctx, wait_ns, self.dev.write_busy_window_ns(&rep));
         Ok(())
     }
 
     /// Walk the bucket's index chain to the key's slot (or the tail).
-    fn find_slot(&self, key: u64, bucket: u32, cost: &mut OpCost) -> Result<Slot, StoreError> {
+    fn find_slot(
+        &self,
+        key: u64,
+        bucket: u32,
+        ctx: u64,
+        cost: &mut OpCost,
+    ) -> Result<Slot, StoreError> {
+        let ictx = index_ctx(ctx);
         let mut page_id = bucket_page(bucket);
         let mut hops = 0u32;
         loop {
-            let page = self.read_page(page_id, cost)?;
+            let page = self.read_page(page_id, ictx, cost)?;
             let list = entries(&page).map_err(|defect| StoreError::CorruptPage {
                 page: page_id,
                 defect,
@@ -389,13 +559,14 @@ impl PcmStore {
         &self,
         key: u64,
         head: u32,
+        ctx: u64,
         cost: &mut OpCost,
     ) -> Result<(Vec<u32>, Vec<u8>), StoreError> {
         let mut pages = Vec::new();
         let mut value = Vec::new();
         let mut at = head;
         loop {
-            let page = self.read_page(at, cost)?;
+            let page = self.read_page(at, ctx, cost)?;
             let head_ok = !pages.is_empty() || page.flags & FLAG_CHAIN_HEAD != 0;
             if page.page_type != PageType::Data || page.key != key || !head_ok {
                 return Err(StoreError::CorruptPage {
@@ -425,6 +596,7 @@ impl PcmStore {
         key: u64,
         value: &[u8],
         chain: &[u32],
+        ctx: u64,
         cost: &mut OpCost,
     ) -> Result<(), StoreError> {
         for (i, &page_id) in chain.iter().enumerate().rev() {
@@ -440,26 +612,28 @@ impl PcmStore {
             if i == 0 {
                 p.flags |= FLAG_CHAIN_HEAD;
             }
-            self.write_page(page_id, &p, cost)?;
+            self.write_page(page_id, &p, ctx, cost)?;
         }
         Ok(())
     }
 
     /// Emit one KV span: begin payload is the mixed key, end payload the
-    /// pages touched; duration is the op's modeled device busy time.
-    fn emit(&self, kind: OpKind, key: u64, bucket: u32, cost: &OpCost) {
+    /// pages touched; duration is the op's modeled device busy time
+    /// (which equals the sum of its child spans' durations exactly).
+    fn emit(&self, kind: OpKind, key: u64, bucket: u32, ctx: u64, cost: &OpCost) {
         let rec = self.dev.tracer();
         if !rec.is_enabled() {
             return;
         }
         let t0 = secs_to_ns(self.dev.now());
         let bank = self.dev.bank_of(bucket_page(bucket) as usize) as u32;
-        rec.span(
+        rec.span_ctx(
             kind,
             bank,
             bucket_page(bucket),
             (t0, t0 + cost.model_ns()),
             (mix64(key), cost.touched()),
+            ctx,
         );
     }
 }

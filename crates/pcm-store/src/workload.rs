@@ -24,7 +24,7 @@ use crate::error::StoreError;
 use crate::store::{pages_for_value, PcmStore, StoreConfig, MAX_VALUE_BYTES};
 use pcm_core::rng::Xoshiro256pp;
 use pcm_device::metrics::LogHistogram;
-use pcm_device::{DeviceMetrics, ShardedScrubber};
+use pcm_device::{CtxClass, CtxCounter, DeviceMetrics, ShardedScrubber, NO_CTX};
 use std::sync::mpsc;
 
 /// A read/update mix, as a read percentage.
@@ -364,6 +364,11 @@ struct ActorState {
     actor: usize,
     rng: Xoshiro256pp,
     zipf: Zipfian,
+    /// The actor's correlation-id counter (KV class, stream `actor + 1`
+    /// so stream 0 stays free for hand-driven sessions). Like the RNG it
+    /// travels with the actor across slices and threads, so request ids
+    /// are a pure function of (actor, op index) — never of scheduling.
+    ctx: CtxCounter,
 }
 
 impl ActorState {
@@ -372,7 +377,18 @@ impl ActorState {
             actor,
             rng: Xoshiro256pp::split(cfg.seed, actor as u64),
             zipf: Zipfian::new(cfg.keys_per_actor, cfg.zipf_theta)?,
+            ctx: CtxCounter::new(CtxClass::Kv, actor as u64 + 1),
         })
+    }
+
+    /// Next request ctx ([`NO_CTX`] while tracing is off, so the
+    /// untraced hot path allocates no ids and emits no events).
+    fn next_ctx(&mut self, store: &PcmStore) -> u64 {
+        if store.device().tracer().is_enabled() {
+            self.ctx.allocate()
+        } else {
+            NO_CTX
+        }
     }
 }
 
@@ -389,23 +405,25 @@ fn run_actor_phase(
     let base = state.actor as u64 * cfg.keys_per_actor;
     if preload {
         for k in 0..cfg.keys_per_actor {
-            store.put(base + k, &value_for(base + k, cfg.value_bytes))?;
+            let ctx = state.next_ctx(store);
+            store.put_with_ctx(base + k, &value_for(base + k, cfg.value_bytes), ctx)?;
             totals.preload_puts += 1;
         }
     }
     for _ in 0..ops {
         let rank = state.zipf.sample(state.rng.next_f64());
         let key = base + rank;
+        let ctx = state.next_ctx(store);
         if state.rng.next_bounded(100) < cfg.mix.read_pct as u64 {
             totals.gets += 1;
-            match store.get(key)? {
+            match store.get_with_ctx(key, ctx)? {
                 Some(v) if v == value_for(key, cfg.value_bytes) => totals.hits += 1,
                 Some(_) => totals.mismatches += 1,
                 None => totals.misses += 1,
             }
         } else {
             totals.puts += 1;
-            store.put(key, &value_for(key, cfg.value_bytes))?;
+            store.put_with_ctx(key, &value_for(key, cfg.value_bytes), ctx)?;
         }
     }
     Ok(totals)

@@ -92,13 +92,19 @@ impl TelemetrySnapshot {
         out
     }
 
-    /// Prometheus-style text exposition of the latest state: one gauge
-    /// sample per bank per metric, stamped from each bank's most recent
-    /// point. Deterministic: fixed metric order, banks ascending.
+    /// Prometheus-style text exposition of the latest state: one sample
+    /// per bank per metric, stamped from each bank's most recent point.
+    /// Point-in-time metrics are typed `gauge`; monotonic ones are
+    /// typed `counter` and carry the conventional `_total` suffix.
+    /// Deterministic: fixed metric order, banks ascending.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let gauge = |out: &mut String, name: &str, help: &str| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        };
+        let counter = |out: &mut String, name: &str, help: &str| {
+            debug_assert!(name.ends_with("_total"), "counters use the _total suffix");
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
         };
         gauge(
             &mut out,
@@ -186,7 +192,7 @@ impl TelemetrySnapshot {
                 b.risk.code()
             ));
         }
-        gauge(
+        counter(
             &mut out,
             "pcm_bank_samples_dropped_total",
             "Samples lost to ring wrap",
@@ -454,6 +460,46 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_are_typed_and_never_panic() {
+        let doc = sample_snapshot().to_jsonl();
+
+        // A line truncated mid-number: typed error naming the line, not
+        // a panic from a slicing or parse unwrap.
+        let cut = doc.find("\"reads\":").expect("sample has a point line") + "\"reads\":".len() + 1;
+        let err = parse(&doc[..cut]).expect_err("truncated mid-line");
+        assert_eq!(err.line, 3, "first point line of bank 0");
+        assert!(err.reason.contains("unterminated") || err.reason.contains("bad integer"));
+
+        // Wrong header: the document must open with `"telemetry":1`.
+        let wrong_header = doc.replacen("{\"telemetry\":1,", "{\"telemetrie\":1,", 1);
+        let err = parse(&wrong_header).expect_err("wrong header key");
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("telemetry"), "{}", err.reason);
+
+        // Non-numeric field value: typed error quoting the bad token.
+        let non_numeric = doc.replacen("\"interval_ns\":1000", "\"interval_ns\":fast", 1);
+        let err = parse(&non_numeric).expect_err("non-numeric field");
+        assert_eq!(err.line, 1);
+        assert!(
+            err.reason.contains("interval_ns") && err.reason.contains("fast"),
+            "{}",
+            err.reason
+        );
+
+        // Display carries the line number for report tooling.
+        assert!(err.to_string().starts_with("line 1: "));
+
+        // Arbitrary prefixes of a valid document error out cleanly —
+        // the parser must never panic on truncation at any byte.
+        for end in 0..doc.len() {
+            if !doc.is_char_boundary(end) {
+                continue;
+            }
+            let _ = parse(&doc[..end]);
+        }
+    }
+
+    #[test]
     fn prometheus_text_is_deterministic_and_labelled() {
         let snap = sample_snapshot();
         let text = snap.to_prometheus();
@@ -461,6 +507,10 @@ mod tests {
         assert!(text.contains("pcm_bank_risk_state{bank=\"0\"} 1"));
         assert!(text.contains("pcm_bank_risk_state{bank=\"1\"} 0"));
         assert!(text.contains("pcm_bank_drift_ewma_permille{bank=\"0\"} 640"));
+        // Monotonic metrics are counters with the `_total` suffix, never
+        // gauges — Prometheus rate() needs the counter contract.
+        assert!(text.contains("# TYPE pcm_bank_samples_dropped_total counter"));
+        assert!(!text.contains("# TYPE pcm_bank_samples_dropped_total gauge"));
         assert!(text.contains("pcm_bank_samples_dropped_total{bank=\"0\"} 2"));
         // Latest-point gauges come from bank 0's tick-4 point.
         assert!(text.contains("pcm_bank_scrubs_per_interval{bank=\"0\"} 2"));

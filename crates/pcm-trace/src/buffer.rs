@@ -2,7 +2,7 @@
 //!
 //! One [`TraceBuffer`] holds a fixed-capacity ring of encoded
 //! [`TraceEvent`] slots per bank. Recording claims a slot with a single
-//! `fetch_add` on the bank's sequence counter and writes five atomic
+//! `fetch_add` on the bank's sequence counter and writes six atomic
 //! words — no locks, no allocation, no blocking — and overwrites the
 //! oldest event once the ring wraps, counting how many were dropped so
 //! exporters can surface the loss instead of hiding it.
@@ -42,13 +42,14 @@ impl Default for TraceConfig {
 }
 
 /// One encoded event slot: `[version, t_ns, bank<<32|block,
-/// kind<<8|phase, payload]` where `version = seq + 1` and `0` marks an
-/// empty or in-flight slot.
+/// kind<<8|phase, ctx, payload]` where `version = seq + 1` and `0`
+/// marks an empty or in-flight slot.
 struct Slot {
     version: AtomicU64,
     t_ns: AtomicU64,
     addr: AtomicU64,
     kind_phase: AtomicU64,
+    ctx: AtomicU64,
     payload: AtomicU64,
 }
 
@@ -59,6 +60,7 @@ impl Slot {
             t_ns: AtomicU64::new(0),
             addr: AtomicU64::new(0),
             kind_phase: AtomicU64::new(0),
+            ctx: AtomicU64::new(0),
             payload: AtomicU64::new(0),
         }
     }
@@ -134,6 +136,7 @@ impl TraceBuffer {
         );
         slot.kind_phase
             .store((ev.kind.code() << 8) | ev.phase.code(), Ordering::Release);
+        slot.ctx.store(ev.ctx, Ordering::Release);
         slot.payload.store(ev.payload, Ordering::Release);
         slot.version.store(seq + 1, Ordering::Release);
     }
@@ -186,6 +189,7 @@ fn decode(slot: &Slot) -> Option<TraceEvent> {
     let t_ns = slot.t_ns.load(Ordering::Acquire);
     let addr = slot.addr.load(Ordering::Acquire);
     let kind_phase = slot.kind_phase.load(Ordering::Acquire);
+    let ctx = slot.ctx.load(Ordering::Acquire);
     let payload = slot.payload.load(Ordering::Acquire);
     let v2 = slot.version.load(Ordering::Acquire);
     if v1 != v2 {
@@ -198,6 +202,7 @@ fn decode(slot: &Slot) -> Option<TraceEvent> {
         block: (addr & 0xffff_ffff) as u32,
         kind: OpKind::from_code(kind_phase >> 8)?,
         phase: Phase::from_code(kind_phase & 0xff)?,
+        ctx,
         payload,
     })
 }
@@ -262,6 +267,7 @@ mod tests {
             block: 7,
             kind: OpKind::Read,
             phase: Phase::Begin,
+            ctx: crate::ctx::NO_CTX,
             payload,
         }
     }

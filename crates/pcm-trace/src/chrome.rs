@@ -37,7 +37,7 @@ fn push_event(out: &mut Vec<String>, ev: &TraceEvent, banks: usize) {
     };
     out.push(format!(
         "{{\"name\":\"{}\",\"cat\":\"pcm\",\"ph\":\"{}\"{},\"ts\":{},\"pid\":0,\"tid\":{},\
-         \"args\":{{\"bank\":{},\"block\":{},\"seq\":{},\"payload\":{}}}}}",
+         \"args\":{{\"bank\":{},\"block\":{},\"seq\":{},\"ctx\":{},\"payload\":{}}}}}",
         ev.kind.name(),
         ph,
         scope,
@@ -46,6 +46,7 @@ fn push_event(out: &mut Vec<String>, ev: &TraceEvent, banks: usize) {
         ev.bank,
         ev.block,
         ev.seq,
+        ev.ctx,
         ev.payload
     ));
 }
@@ -103,6 +104,7 @@ mod tests {
             block: 4,
             kind: OpKind::Write,
             phase: Phase::Begin,
+            ctx: 9,
             payload: 1,
         });
         buf.record(TraceEvent {
@@ -112,6 +114,7 @@ mod tests {
             block: crate::NO_BLOCK,
             kind: OpKind::ScrubPass,
             phase: Phase::Begin,
+            ctx: 0,
             payload: 1,
         });
         let text = export(&buf.snapshot());
@@ -137,6 +140,7 @@ mod tests {
             block: 2,
             kind: OpKind::Failure,
             phase: Phase::Instant,
+            ctx: 0,
             payload: 1,
         });
         let text = export(&buf.snapshot());

@@ -1,11 +1,11 @@
 //! The fixed-size trace record and its vocabulary.
 //!
-//! A [`TraceEvent`] is 40 bytes of plain integers: model-time nanoseconds,
-//! bank, block, an operation kind, a span phase, and one kind-specific
-//! payload word. Everything is derived from device model time and
-//! deterministic op outcomes — there is deliberately no field a wall
-//! clock, thread id, or allocator could leak into, so two runs with the
-//! same seed produce byte-identical traces.
+//! A [`TraceEvent`] is 48 bytes of plain integers: model-time nanoseconds,
+//! bank, block, an operation kind, a span phase, a correlation id, and
+//! one kind-specific payload word. Everything is derived from device
+//! model time and deterministic op outcomes — there is deliberately no
+//! field a wall clock, thread id, or allocator could leak into, so two
+//! runs with the same seed produce byte-identical traces.
 
 /// Sentinel block id for events that describe a whole bank (scrub-pass
 /// spans, refresh lane activity in the performance engine) rather than a
@@ -52,11 +52,14 @@ pub enum OpKind {
     /// sample deadline; payload packs `(ewma_permille << 16) |
     /// (from_code << 8) | to_code`, see `pcm-telemetry`).
     RiskTransition,
+    /// Model time a demand op spent draining accumulated scrub debt on
+    /// its bank before its own busy window (span; payload = drained ns).
+    ScrubStall,
 }
 
 impl OpKind {
     /// Every kind, in wire-code order.
-    pub const ALL: [OpKind; 11] = [
+    pub const ALL: [OpKind; 12] = [
         OpKind::Read,
         OpKind::Write,
         OpKind::Refresh,
@@ -68,6 +71,7 @@ impl OpKind {
         OpKind::KvPut,
         OpKind::KvDelete,
         OpKind::RiskTransition,
+        OpKind::ScrubStall,
     ];
 
     /// Stable lowercase name used by the JSONL exporter.
@@ -84,6 +88,7 @@ impl OpKind {
             OpKind::KvPut => "kv_put",
             OpKind::KvDelete => "kv_delete",
             OpKind::RiskTransition => "risk_transition",
+            OpKind::ScrubStall => "scrub_stall",
         }
     }
 
@@ -106,6 +111,7 @@ impl OpKind {
             OpKind::KvPut => 8,
             OpKind::KvDelete => 9,
             OpKind::RiskTransition => 10,
+            OpKind::ScrubStall => 11,
         }
     }
 
@@ -186,6 +192,9 @@ pub struct TraceEvent {
     pub kind: OpKind,
     /// Span phase.
     pub phase: Phase,
+    /// Correlation id of the request this event belongs to (see the
+    /// [`crate::ctx`] module), or [`crate::ctx::NO_CTX`].
+    pub ctx: u64,
     /// Kind-specific payload (corrected symbols, attempts, tick ids…).
     pub payload: u64,
 }

@@ -33,13 +33,14 @@ pub fn export(snap: &TraceSnapshot) -> String {
         for ev in lane_events {
             out.push_str(&format!(
                 "{{\"type\":\"event\",\"bank\":{},\"seq\":{},\"t_ns\":{},\"kind\":\"{}\",\
-                 \"phase\":\"{}\",\"block\":{},\"payload\":{}}}\n",
+                 \"phase\":\"{}\",\"block\":{},\"ctx\":{},\"payload\":{}}}\n",
                 ev.bank,
                 ev.seq,
                 ev.t_ns,
                 ev.kind.name(),
                 ev.phase.name(),
                 ev.block,
+                ev.ctx,
                 ev.payload
             ));
         }
@@ -154,6 +155,7 @@ pub fn parse(text: &str) -> Result<ParsedTrace, TraceDecodeError> {
                         as u32,
                     kind,
                     phase,
+                    ctx: u64_field(line, "ctx").ok_or(fail(lineno, "event missing ctx"))?,
                     payload: u64_field(line, "payload")
                         .ok_or(fail(lineno, "event missing payload"))?,
                 });
@@ -184,6 +186,7 @@ mod tests {
             block: 3,
             kind: OpKind::Read,
             phase: Phase::Begin,
+            ctx: 77,
             payload: 0,
         });
         buf.record(TraceEvent {
@@ -193,6 +196,7 @@ mod tests {
             block: 3,
             kind: OpKind::Read,
             phase: Phase::End,
+            ctx: 77,
             payload: 2,
         });
         buf.record(TraceEvent {
@@ -202,6 +206,7 @@ mod tests {
             block: 5,
             kind: OpKind::Failure,
             phase: Phase::Instant,
+            ctx: 0,
             payload: 1,
         });
         buf
@@ -236,9 +241,45 @@ mod tests {
         assert!(parse("").is_err(), "missing meta line");
         let bad_kind = "{\"type\":\"meta\",\"banks\":1,\"capacity\":1}\n\
                         {\"type\":\"event\",\"bank\":0,\"seq\":0,\"t_ns\":0,\
-                        \"kind\":\"bogus\",\"phase\":\"B\",\"block\":0,\"payload\":0}\n";
+                        \"kind\":\"bogus\",\"phase\":\"B\",\"block\":0,\"ctx\":0,\"payload\":0}\n";
         let err = parse(bad_kind).expect_err("bad kind");
         assert_eq!(err.line, 2);
         assert!(err.to_string().contains("unknown op kind"));
+        let no_ctx = "{\"type\":\"meta\",\"banks\":1,\"capacity\":1}\n\
+                      {\"type\":\"event\",\"bank\":0,\"seq\":0,\"t_ns\":0,\
+                      \"kind\":\"read\",\"phase\":\"B\",\"block\":0,\"payload\":0}\n";
+        let err = parse(no_ctx).expect_err("missing ctx");
+        assert!(err.to_string().contains("missing ctx"));
+    }
+
+    #[test]
+    fn risk_transition_round_trips() {
+        // The telemetry layer's Healthy→Elevated→Critical instants ride
+        // the same stream; their kind name and packed payload must
+        // survive export → parse exactly.
+        let buf = TraceBuffer::new(1, &TraceConfig::new(4));
+        let ev = TraceEvent {
+            seq: 0,
+            t_ns: 2_000,
+            bank: 0,
+            block: 0,
+            kind: OpKind::RiskTransition,
+            phase: Phase::Instant,
+            ctx: 0,
+            payload: (640 << 8) | 1,
+        };
+        buf.record(ev);
+        let text = export(&buf.snapshot());
+        assert!(text.contains("\"kind\":\"risk_transition\""), "{text}");
+        let parsed = parse(&text).expect("round trip");
+        assert_eq!(parsed.events, vec![ev]);
+    }
+
+    #[test]
+    fn event_lines_carry_ctx() {
+        let text = export(&sample_buffer().snapshot());
+        assert!(text.contains("\"ctx\":77"), "{text}");
+        let parsed = parse(&text).expect("parse");
+        assert_eq!(parsed.events.iter().filter(|e| e.ctx == 77).count(), 2);
     }
 }

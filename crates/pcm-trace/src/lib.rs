@@ -36,11 +36,16 @@
 
 mod buffer;
 pub mod chrome;
+pub mod ctx;
 mod event;
 pub mod jsonl;
 mod sink;
 
 pub use buffer::{BankTrace, TraceBuffer, TraceConfig, TraceSnapshot};
+pub use ctx::{
+    ctx_base, ctx_class, ctx_is_index, ctx_seq, ctx_stream, pack_ctx, CtxClass, CtxCounter,
+    CTX_INDEX_FLAG, NO_CTX,
+};
 pub use event::{OpKind, Phase, TraceEvent, NO_BLOCK};
 pub use jsonl::{LaneSummary, ParsedTrace, TraceDecodeError};
 pub use sink::{NullSink, Recorder, TraceSink};

@@ -8,6 +8,7 @@
 //! construction on the caller side beyond building the argument struct.
 
 use crate::buffer::{TraceBuffer, TraceConfig};
+use crate::ctx::NO_CTX;
 use crate::event::{OpKind, Phase, TraceEvent};
 use std::sync::Arc;
 
@@ -96,7 +97,7 @@ impl Recorder {
     }
 
     /// Record a begin/end pair for a span covering `range_ns`, with
-    /// per-phase payloads.
+    /// per-phase payloads and no correlation id.
     pub fn span(
         &self,
         kind: OpKind,
@@ -104,6 +105,20 @@ impl Recorder {
         block: u32,
         range_ns: (u64, u64),
         payloads: (u64, u64),
+    ) {
+        self.span_ctx(kind, bank, block, range_ns, payloads, NO_CTX);
+    }
+
+    /// Record a begin/end pair carrying the request's correlation id
+    /// (both phases carry the same `ctx`).
+    pub fn span_ctx(
+        &self,
+        kind: OpKind,
+        bank: u32,
+        block: u32,
+        range_ns: (u64, u64),
+        payloads: (u64, u64),
+        ctx: u64,
     ) {
         if let Some(sink) = &self.sink {
             sink.record(TraceEvent {
@@ -113,6 +128,7 @@ impl Recorder {
                 block,
                 kind,
                 phase: Phase::Begin,
+                ctx,
                 payload: payloads.0,
             });
             sink.record(TraceEvent {
@@ -122,13 +138,27 @@ impl Recorder {
                 block,
                 kind,
                 phase: Phase::End,
+                ctx,
                 payload: payloads.1,
             });
         }
     }
 
-    /// Record a point event.
+    /// Record a point event with no correlation id.
     pub fn instant(&self, kind: OpKind, bank: u32, block: u32, t_ns: u64, payload: u64) {
+        self.instant_ctx(kind, bank, block, t_ns, payload, NO_CTX);
+    }
+
+    /// Record a point event carrying the request's correlation id.
+    pub fn instant_ctx(
+        &self,
+        kind: OpKind,
+        bank: u32,
+        block: u32,
+        t_ns: u64,
+        payload: u64,
+        ctx: u64,
+    ) {
         if let Some(sink) = &self.sink {
             sink.record(TraceEvent {
                 seq: 0,
@@ -137,6 +167,7 @@ impl Recorder {
                 block,
                 kind,
                 phase: Phase::Instant,
+                ctx,
                 payload,
             });
         }

@@ -14,11 +14,49 @@
 //! CI-gated byte-for-byte elsewhere.
 
 use crate::json::{self, Value};
+use std::fmt;
 
-/// Allowed throughput drop, percent. One part in ten is far outside
-/// the wobble the multi-threaded runs show (placement order shifts
-/// wear-dependent write costs by a few percent at most).
+/// Default allowed throughput drop, percent. One part in ten is far
+/// outside the wobble the multi-threaded runs show (placement order
+/// shifts wear-dependent write costs by a few percent at most).
+/// Override per-invocation with `--max-drop-pct`.
 pub const TOLERANCE_PCT: f64 = 10.0;
+
+/// A rejected `--max-drop-pct` value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToleranceError {
+    /// The flag value did not parse as a number.
+    NotANumber(String),
+    /// The flag value parsed but is not a usable percentage
+    /// (negative, NaN, infinite, or ≥ 100).
+    OutOfRange(f64),
+}
+
+impl fmt::Display for ToleranceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToleranceError::NotANumber(raw) => {
+                write!(f, "--max-drop-pct: `{raw}` is not a number")
+            }
+            ToleranceError::OutOfRange(v) => write!(
+                f,
+                "--max-drop-pct: {v} is out of range (want 0 <= pct < 100)"
+            ),
+        }
+    }
+}
+
+/// Validate a `--max-drop-pct` flag value: a finite percentage in
+/// `[0, 100)`. 0 means "any drop fails"; 100 would gate nothing.
+pub fn parse_tolerance(raw: &str) -> Result<f64, ToleranceError> {
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| ToleranceError::NotANumber(raw.to_string()))?;
+    if !v.is_finite() || !(0.0..100.0).contains(&v) {
+        return Err(ToleranceError::OutOfRange(v));
+    }
+    Ok(v)
+}
 
 /// One compared numeric leaf.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +81,8 @@ pub struct BenchDiff {
     /// Paths present in exactly one document (shape drift — reported,
     /// not fatal, so adding a metric never breaks the gate).
     pub unmatched: Vec<String>,
+    /// The tolerance this diff was gated at, percent.
+    pub tolerance_pct: f64,
 }
 
 impl BenchDiff {
@@ -84,12 +124,14 @@ impl BenchDiff {
         let bad = self.regressions();
         if bad.is_empty() {
             out.push_str(&format!(
-                "bench-diff: OK — no gated metric dropped more than {TOLERANCE_PCT}%\n"
+                "bench-diff: OK — no gated metric dropped more than {}%\n",
+                self.tolerance_pct
             ));
         } else {
             out.push_str(&format!(
-                "bench-diff: FAIL — {} gated metric(s) regressed more than {TOLERANCE_PCT}%\n",
-                bad.len()
+                "bench-diff: FAIL — {} gated metric(s) regressed more than {}%\n",
+                bad.len(),
+                self.tolerance_pct
             ));
         }
         out
@@ -128,9 +170,19 @@ fn flatten(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
     }
 }
 
-/// Compare two bench documents. Parse failures are errors; shape
-/// differences are not (they land in `unmatched`).
+/// Compare two bench documents at the default [`TOLERANCE_PCT`].
+/// Parse failures are errors; shape differences are not (they land in
+/// `unmatched`).
 pub fn diff_docs(old_doc: &str, new_doc: &str) -> Result<BenchDiff, String> {
+    diff_docs_with(old_doc, new_doc, TOLERANCE_PCT)
+}
+
+/// [`diff_docs`] at an explicit tolerance (the `--max-drop-pct` path).
+pub fn diff_docs_with(
+    old_doc: &str,
+    new_doc: &str,
+    tolerance_pct: f64,
+) -> Result<BenchDiff, String> {
     let old = json::parse(old_doc).map_err(|e| format!("old document: {e}"))?;
     let new = json::parse(new_doc).map_err(|e| format!("new document: {e}"))?;
     let mut old_leaves = Vec::new();
@@ -147,7 +199,7 @@ pub fn diff_docs(old_doc: &str, new_doc: &str) -> Result<BenchDiff, String> {
         match new_map.get(path.as_str()) {
             Some(&new_val) => {
                 let gated = is_throughput(path);
-                let regressed = gated && new_val < old_val * (1.0 - TOLERANCE_PCT / 100.0);
+                let regressed = gated && new_val < old_val * (1.0 - tolerance_pct / 100.0);
                 metrics.push(MetricDelta {
                     path: path.clone(),
                     old: *old_val,
@@ -164,16 +216,29 @@ pub fn diff_docs(old_doc: &str, new_doc: &str) -> Result<BenchDiff, String> {
             unmatched.push(path.clone());
         }
     }
-    Ok(BenchDiff { metrics, unmatched })
+    Ok(BenchDiff {
+        metrics,
+        unmatched,
+        tolerance_pct,
+    })
 }
 
-/// File-reading front end for `main`.
+/// File-reading front end for `main`, at the default tolerance.
 pub fn diff_files(old_path: &str, new_path: &str) -> Result<BenchDiff, String> {
+    diff_files_with(old_path, new_path, TOLERANCE_PCT)
+}
+
+/// [`diff_files`] at an explicit tolerance (the `--max-drop-pct` path).
+pub fn diff_files_with(
+    old_path: &str,
+    new_path: &str,
+    tolerance_pct: f64,
+) -> Result<BenchDiff, String> {
     let old =
         std::fs::read_to_string(old_path).map_err(|e| format!("cannot read {old_path}: {e}"))?;
     let new =
         std::fs::read_to_string(new_path).map_err(|e| format!("cannot read {new_path}: {e}"))?;
-    diff_docs(&old, &new)
+    diff_docs_with(&old, &new, tolerance_pct)
 }
 
 #[cfg(test)]
@@ -227,5 +292,45 @@ mod tests {
     fn parse_failures_are_errors() {
         assert!(diff_docs("not json", "{}").is_err());
         assert!(diff_files("/nonexistent/a.json", "/nonexistent/b.json").is_err());
+    }
+
+    #[test]
+    fn explicit_tolerance_moves_the_gate() {
+        // A 5% drop passes at the default 10% but fails at 2%.
+        let old = doc("100.0", 1200);
+        let new = doc("95.0", 1200);
+        assert!(diff_docs(&old, &new).unwrap().regressions().is_empty());
+        let tight = diff_docs_with(&old, &new, 2.0).unwrap();
+        assert_eq!(tight.regressions().len(), 1, "{tight:?}");
+        assert!(tight.render_text().contains("more than 2%"), "verdict line");
+        // Zero tolerance gates any drop at all.
+        let zero = diff_docs_with(&old, &new, 0.0).unwrap();
+        assert_eq!(zero.regressions().len(), 1);
+    }
+
+    #[test]
+    fn tolerance_parsing_is_validated() {
+        assert_eq!(parse_tolerance("10"), Ok(10.0));
+        assert_eq!(parse_tolerance("2.5"), Ok(2.5));
+        assert_eq!(parse_tolerance("0"), Ok(0.0));
+        assert_eq!(
+            parse_tolerance("fast"),
+            Err(ToleranceError::NotANumber("fast".into()))
+        );
+        assert_eq!(parse_tolerance("-3"), Err(ToleranceError::OutOfRange(-3.0)));
+        assert_eq!(
+            parse_tolerance("100"),
+            Err(ToleranceError::OutOfRange(100.0))
+        );
+        assert!(matches!(
+            parse_tolerance("NaN"),
+            Err(ToleranceError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            parse_tolerance("inf"),
+            Err(ToleranceError::OutOfRange(_))
+        ));
+        let msg = parse_tolerance("fast").unwrap_err().to_string();
+        assert!(msg.contains("not a number"), "{msg}");
     }
 }

@@ -35,6 +35,7 @@ pub mod lexer;
 pub mod lock_order;
 pub mod model;
 pub mod obs_report;
+pub mod profile_report;
 pub mod rules;
 pub mod source;
 pub mod trace_report;

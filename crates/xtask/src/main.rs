@@ -1,10 +1,11 @@
-//! Workspace automation driver. Four subcommands:
+//! Workspace automation driver. Five subcommands:
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--json] [--audit-allows] [FILE…]
-//! cargo run -p xtask -- trace-report [--json] [--top N] <file.jsonl>
-//! cargo run -p xtask -- obs-report [--json] [--top N] <telemetry.jsonl>
-//! cargo run -p xtask -- bench-diff <old.json> <new.json>
+//! cargo run -p xtask -- trace-report [--json] [--top N] [--strict] <file.jsonl>
+//! cargo run -p xtask -- obs-report [--json] [--top N] [--strict] <telemetry.jsonl>
+//! cargo run -p xtask -- profile-report [--json] [--top N] [--folded] <file.jsonl>
+//! cargo run -p xtask -- bench-diff [--max-drop-pct F] <old.json> <new.json>
 //! ```
 //!
 //! `lint` with no files runs the per-file rules plus the workspace
@@ -16,11 +17,15 @@
 //! counts, span-duration histograms, scrub/demand interleaving, and
 //! the longest spans. `obs-report` summarizes a `pcm-telemetry` JSONL
 //! export: per-bank sample tables with activity sparklines, the top
-//! drift-risk banks, and scrub/demand interference windows.
+//! drift-risk banks, and scrub/demand interference windows; on both,
+//! `--strict` fails the run when the source ring dropped anything.
+//! `profile-report` reconstructs causal per-request latency
+//! attribution from correlation ids in a trace (DESIGN.md §17);
+//! `--folded` emits collapsed flamegraph stacks instead.
 //! `bench-diff` compares two bench JSON documents and fails when a
-//! throughput leaf drops more than 10%. Where supported, `--json`
-//! switches to the stable machine-readable schema documented in
-//! DESIGN.md §15.
+//! throughput leaf drops more than `--max-drop-pct` percent (default
+//! 10). Where supported, `--json` switches to the stable
+//! machine-readable schema documented in DESIGN.md §15.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -31,6 +36,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(&args[1..]),
         Some("trace-report") => trace_report(&args[1..]),
         Some("obs-report") => obs_report(&args[1..]),
+        Some("profile-report") => profile_report(&args[1..]),
         Some("bench-diff") => bench_diff(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`");
@@ -46,9 +52,16 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!("usage: cargo run -p xtask -- lint [--json] [--audit-allows] [FILE…]");
-    eprintln!("       cargo run -p xtask -- trace-report [--json] [--top N] <file.jsonl>");
-    eprintln!("       cargo run -p xtask -- obs-report [--json] [--top N] <telemetry.jsonl>");
-    eprintln!("       cargo run -p xtask -- bench-diff <old.json> <new.json>");
+    eprintln!(
+        "       cargo run -p xtask -- trace-report [--json] [--top N] [--strict] <file.jsonl>"
+    );
+    eprintln!(
+        "       cargo run -p xtask -- obs-report [--json] [--top N] [--strict] <telemetry.jsonl>"
+    );
+    eprintln!(
+        "       cargo run -p xtask -- profile-report [--json] [--top N] [--folded] <file.jsonl>"
+    );
+    eprintln!("       cargo run -p xtask -- bench-diff [--max-drop-pct F] <old.json> <new.json>");
     eprintln!();
     eprintln!("rules:");
     for rule in xtask::rules::all() {
@@ -80,6 +93,7 @@ fn trace_report(args: &[String]) -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
             "--top" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => opts.top = n,
                 _ => {
@@ -122,6 +136,7 @@ fn obs_report(args: &[String]) -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
             "--top" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n > 0 => opts.top = n,
                 _ => {
@@ -157,13 +172,71 @@ fn obs_report(args: &[String]) -> ExitCode {
     }
 }
 
+fn profile_report(args: &[String]) -> ExitCode {
+    let mut opts = xtask::profile_report::Options::default();
+    let mut file: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--folded" => opts.folded = true,
+            "--top" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n > 0 => opts.top = n,
+                _ => {
+                    eprintln!("profile-report: --top needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() => file = Some(other),
+            other => {
+                eprintln!("profile-report: unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("profile-report: no trace file given");
+        usage();
+        return ExitCode::from(2);
+    };
+    match xtask::profile_report::report_file(path, &opts) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("profile-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn bench_diff(args: &[String]) -> ExitCode {
     let mut files: Vec<&str> = Vec::new();
-    for a in args {
+    let mut tolerance = xtask::bench_diff::TOLERANCE_PCT;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
+            }
+            "--max-drop-pct" => {
+                let Some(raw) = it.next() else {
+                    eprintln!("bench-diff: --max-drop-pct needs a value");
+                    return ExitCode::from(2);
+                };
+                match xtask::bench_diff::parse_tolerance(raw) {
+                    Ok(pct) => tolerance = pct,
+                    Err(e) => {
+                        eprintln!("bench-diff: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
             }
             other => files.push(other),
         }
@@ -173,7 +246,7 @@ fn bench_diff(args: &[String]) -> ExitCode {
         usage();
         return ExitCode::from(2);
     };
-    match xtask::bench_diff::diff_files(old, new) {
+    match xtask::bench_diff::diff_files_with(old, new, tolerance) {
         Ok(diff) => {
             print!("{}", diff.render_text());
             if diff.regressions().is_empty() {

@@ -13,6 +13,9 @@ pub struct Options {
     pub json: bool,
     /// Rows in the top-risk-banks table.
     pub top: usize,
+    /// Fail (nonzero exit) when any bank dropped samples to ring wrap
+    /// — a dropped sample means the summaries undercount.
+    pub strict: bool,
 }
 
 /// Read `path` and render its report per `opts`. Errors are returned as
@@ -26,6 +29,13 @@ pub fn report_file(path: &str, opts: &Options) -> Result<String, String> {
 pub fn report_str(doc: &str, opts: &Options) -> Result<String, String> {
     let top = if opts.top == 0 { 10 } else { opts.top };
     let report = pcm_telemetry::report::analyze_str(doc, top).map_err(|e| e.to_string())?;
+    let total_dropped: u64 = report.per_bank.iter().map(|b| b.dropped).sum();
+    if opts.strict && total_dropped > 0 {
+        return Err(format!(
+            "strict: {total_dropped} sample(s) dropped to ring wrap — the summaries \
+             undercount; re-record with a larger telemetry capacity"
+        ));
+    }
     Ok(if opts.json {
         let mut s = report.to_json();
         s.push('\n');
@@ -66,7 +76,11 @@ mod tests {
 
     #[test]
     fn json_report_has_fixed_shape() {
-        let opts = Options { json: true, top: 5 };
+        let opts = Options {
+            json: true,
+            top: 5,
+            strict: false,
+        };
         let out = report_str(&sample_doc(), &opts).unwrap();
         assert!(out.starts_with("{\"banks\":2,"), "{out}");
         assert!(out.contains("\"per_bank\":["), "{out}");
@@ -80,5 +94,31 @@ mod tests {
     fn bad_input_is_an_error_string() {
         assert!(report_str("nope\n", &Options::default()).is_err());
         assert!(report_file("/nonexistent/telemetry.jsonl", &Options::default()).is_err());
+    }
+
+    #[test]
+    fn strict_fails_on_dropped_samples() {
+        use pcm_telemetry::{BankCounters, TelemetryConfig, TelemetryRecorder};
+        use pcm_trace::Recorder;
+        // A 2-point ring receiving 8 samples must drop 6 per bank.
+        let rec = TelemetryRecorder::new(1, TelemetryConfig::new(1000).with_capacity(2));
+        let tracer = Recorder::disabled();
+        let mut c = BankCounters::default();
+        for step in 1..=8u64 {
+            c.reads += 1;
+            c.busy_ns += 200;
+            rec.sample_up_to(step * 1000, &[c.clone()], &tracer);
+        }
+        let doc = rec.snapshot().to_jsonl();
+        let strict = Options {
+            strict: true,
+            ..Options::default()
+        };
+        // Lax mode still renders; strict mode refuses.
+        assert!(report_str(&doc, &Options::default()).is_ok());
+        let err = report_str(&doc, &strict).unwrap_err();
+        assert!(err.contains("dropped"), "{err}");
+        // A loss-free export passes strict.
+        assert!(report_str(&sample_doc(), &strict).is_ok());
     }
 }

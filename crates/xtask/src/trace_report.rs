@@ -12,6 +12,9 @@ pub struct Options {
     pub json: bool,
     /// Rows in the longest-spans table.
     pub top: usize,
+    /// Fail (nonzero exit) when the trace dropped any events to ring
+    /// wrap — a dropped event means the report undercounts.
+    pub strict: bool,
 }
 
 /// Read `path` and render its report per `opts`. Errors are returned as
@@ -25,6 +28,13 @@ pub fn report_file(path: &str, opts: &Options) -> Result<String, String> {
 pub fn report_str(doc: &str, opts: &Options) -> Result<String, String> {
     let top = if opts.top == 0 { 10 } else { opts.top };
     let report = pcm_sim::trace_report::analyze_top(doc, top).map_err(|e| e.to_string())?;
+    if opts.strict && report.total_dropped > 0 {
+        return Err(format!(
+            "strict: {} event(s) dropped to ring wrap — the report undercounts; \
+             re-record with a larger trace capacity",
+            report.total_dropped
+        ));
+    }
     Ok(if opts.json {
         let mut s = report.to_json();
         s.push('\n');
@@ -55,7 +65,11 @@ mod tests {
 
     #[test]
     fn json_report_has_fixed_shape() {
-        let opts = Options { json: true, top: 5 };
+        let opts = Options {
+            json: true,
+            top: 5,
+            strict: false,
+        };
         let out = report_str(&sample_doc(), &opts).unwrap();
         assert!(out.starts_with("{\"banks\":2,\"capacity\":32,"), "{out}");
         assert!(out.contains("\"per_bank\":["), "{out}");
@@ -69,5 +83,32 @@ mod tests {
     fn bad_input_is_an_error_string() {
         assert!(report_str("nope\n", &Options::default()).is_err());
         assert!(report_file("/nonexistent/trace.jsonl", &Options::default()).is_err());
+    }
+
+    #[test]
+    fn strict_fails_on_dropped_events() {
+        use pcm_trace::{jsonl, OpKind, Recorder, TraceConfig};
+        // A 2-slot ring receiving 4 spans (8 events) must drop.
+        let rec = Recorder::buffered(1, &TraceConfig::new(2));
+        for i in 0..4u64 {
+            rec.span(
+                OpKind::Read,
+                0,
+                i as u32,
+                (i * 1000, i * 1000 + 200),
+                (i, 0),
+            );
+        }
+        let doc = jsonl::export(&rec.buffer().expect("buffered").snapshot());
+        let strict = Options {
+            strict: true,
+            ..Options::default()
+        };
+        // Lax mode still renders; strict mode refuses.
+        assert!(report_str(&doc, &Options::default()).is_ok());
+        let err = report_str(&doc, &strict).unwrap_err();
+        assert!(err.contains("dropped"), "{err}");
+        // A loss-free trace passes strict.
+        assert!(report_str(&sample_doc(), &strict).is_ok());
     }
 }
